@@ -1,0 +1,68 @@
+// Command repro regenerates the evaluation figures of "Advanced
+// Synchronization Techniques for Task-based Runtime Systems" (PPoPP'21)
+// on simulated platforms, printing the efficiency-vs-granularity series
+// the paper plots (Figures 4-9).
+//
+// Usage:
+//
+//	repro -figure figure4            # one figure, quick scale
+//	repro -all -scale full           # the whole evaluation, paper scale
+//	repro -figure figure7 -workers 8 # cap simulated cores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "", "figure to regenerate (figure4..figure9)")
+		all     = flag.Bool("all", false, "regenerate every figure")
+		scale   = flag.String("scale", "quick", "problem scale: quick or full")
+		workers = flag.Int("workers", platform.DefaultLimit(), "cap on simulated cores (0 = full machine)")
+		repeats = flag.Int("repeats", 1, "timing repetitions per cell (best kept)")
+		verify  = flag.Bool("verify", false, "verify numerical results of every measured run")
+	)
+	flag.Parse()
+
+	sc := harness.Quick
+	switch *scale {
+	case "quick":
+	case "full":
+		sc = harness.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var defs []harness.FigureDef
+	switch {
+	case *all:
+		defs = harness.Figures()
+	case *figure != "":
+		def, ok := harness.FigureByName(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; have figure4..figure9\n", *figure)
+			os.Exit(2)
+		}
+		defs = []harness.FigureDef{def}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, def := range defs {
+		fmt.Printf("== %s: %s (%d workers simulated", def.Name, def.Machine.Name,
+			def.Machine.Workers(*workers))
+		fmt.Printf(", variants: %v)\n\n", def.Labels)
+		if _, err := harness.RunFigure(def, sc, *workers, *repeats, *verify, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

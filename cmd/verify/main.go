@@ -1,0 +1,69 @@
+// Command verify is the artifact check, in the spirit of the paper
+// artifact's run-small-suite.sh: it runs every benchmark of §6.1 on
+// every runtime variant at small problem sizes and verifies each
+// parallel result against its serial reference. A clean exit means the
+// full matrix (8 benchmarks × 7 variants) computes correct results on
+// this host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "worker threads per runtime")
+	numa := flag.Int("numa", 2, "simulated NUMA nodes")
+	flag.Parse()
+
+	sizes := map[string]struct {
+		size  workloads.Size
+		block int
+	}{
+		"dotproduct": {workloads.Size{N: 1 << 14}, 1 << 8},
+		"heat":       {workloads.Size{N: 64, Steps: 4}, 16},
+		"matmul":     {workloads.Size{N: 64}, 16},
+		"cholesky":   {workloads.Size{N: 64}, 16},
+		"hpccg":      {workloads.Size{N: 1 << 11, Steps: 25}, 1 << 8},
+		"nbody":      {workloads.Size{N: 256, Steps: 2}, 64},
+		"lulesh":     {workloads.Size{N: 1 << 12, Steps: 4}, 1 << 7},
+		"miniamr":    {workloads.Size{N: 1 << 12, Steps: 5}, 1 << 7},
+	}
+
+	variants := append(core.Variants(), core.ComparisonVariants()[1:]...)
+	failures := 0
+	for _, v := range variants {
+		rt := core.New(core.ConfigFor(v, *workers, *numa))
+		fmt.Printf("%-28s", v)
+		for name, tc := range sizes {
+			w, err := workloads.Build(name, tc.size, tc.block)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\nverify: %v\n", err)
+				os.Exit(2)
+			}
+			start := time.Now()
+			w.Reset()
+			w.Run(rt)
+			if err := w.Verify(); err != nil {
+				fmt.Printf(" %s:FAIL", name)
+				fmt.Fprintf(os.Stderr, "\nverify: %s on %s: %v\n", name, v, err)
+				failures++
+				continue
+			}
+			_ = start
+			fmt.Printf(" %s:ok", name)
+		}
+		rt.Close()
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("%d verification failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all benchmarks verified on all variants")
+}

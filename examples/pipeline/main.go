@@ -1,0 +1,93 @@
+// Pipeline: a streaming analytics pipeline built on the public API —
+// the kind of irregular, multi-stage workload the paper's introduction
+// motivates. Batches of samples flow through parse → filter → aggregate
+// stages; stage tasks for different batches overlap, while per-batch
+// ordering and a final commutative merge into shared statistics are
+// enforced purely by data accesses.
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro"
+)
+
+const (
+	batches   = 64
+	batchSize = 4096
+)
+
+func main() {
+	rt := repro.New(repro.Config{Workers: runtime.NumCPU()})
+	defer rt.Close()
+
+	raw := make([][]float64, batches)    // stage 0 output
+	parsed := make([][]float64, batches) // stage 1 output
+	var statsSum, statsMax float64       // shared, commutatively merged
+	statsMax = math.Inf(-1)
+	var token float64 // commutative dependency handle for the stats
+
+	rt.Run(func(c *repro.Ctx) {
+		for b := 0; b < batches; b++ {
+			b := b
+			// Stage 1: produce a batch.
+			c.Spawn(func(*repro.Ctx) {
+				data := make([]float64, batchSize)
+				for i := range data {
+					data[i] = math.Sin(float64(b*batchSize+i) / 100)
+				}
+				raw[b] = data
+			}, repro.Out(&raw[b]))
+
+			// Stage 2: filter it (waits for stage 1 of the same batch
+			// only; other batches proceed independently).
+			c.Spawn(func(*repro.Ctx) {
+				out := make([]float64, 0, batchSize)
+				for _, v := range raw[b] {
+					if v > 0 {
+						out = append(out, v*v)
+					}
+				}
+				parsed[b] = out
+			}, repro.In(&raw[b]), repro.Out(&parsed[b]))
+
+			// Stage 3: merge into the shared stats under a commutative
+			// access — mutual exclusion, any order.
+			c.Spawn(func(*repro.Ctx) {
+				for _, v := range parsed[b] {
+					statsSum += v
+					if v > statsMax {
+						statsMax = v
+					}
+				}
+			}, repro.In(&parsed[b]), repro.Commutative(&token))
+		}
+		c.Taskwait()
+	})
+
+	fmt.Printf("pipeline: %d batches × %d samples -> sum %.3f, max %.6f\n",
+		batches, batchSize, statsSum, statsMax)
+
+	// Serial check.
+	var wantSum, wantMax float64
+	wantMax = math.Inf(-1)
+	for b := 0; b < batches; b++ {
+		for i := 0; i < batchSize; i++ {
+			v := math.Sin(float64(b*batchSize+i) / 100)
+			if v > 0 {
+				v *= v
+				wantSum += v
+				if v > wantMax {
+					wantMax = v
+				}
+			}
+		}
+	}
+	if math.Abs(wantSum-statsSum) > 1e-6*math.Abs(wantSum) || wantMax != statsMax {
+		fmt.Printf("MISMATCH: want sum %.3f max %.6f\n", wantSum, wantMax)
+		return
+	}
+	fmt.Println("verified against serial pipeline")
+}

@@ -1,0 +1,116 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+type obj struct {
+	id  int
+	pad [4]int64
+}
+
+func TestPooledRecycles(t *testing.T) {
+	p := NewPooled[obj](2, 4)
+	a := p.Get(0)
+	a.id = 99
+	p.Put(0, a)
+	b := p.Get(0)
+	if b != a {
+		t.Fatal("pooled allocator did not recycle the local object")
+	}
+}
+
+func TestPooledDistinctUntilFreed(t *testing.T) {
+	p := NewPooled[obj](2, 4)
+	seen := map[*obj]bool{}
+	for i := 0; i < 100; i++ {
+		o := p.Get(0)
+		if seen[o] {
+			t.Fatal("allocator returned a live object twice")
+		}
+		seen[o] = true
+	}
+}
+
+func TestPooledGlobalFlowBetweenWorkers(t *testing.T) {
+	// Worker 0 frees enough objects to flush to the global arena; worker
+	// 1 must then be able to refill from it.
+	p := NewPooled[obj](2, 4)
+	objs := make([]*obj, 16)
+	for i := range objs {
+		objs[i] = p.Get(0)
+	}
+	for _, o := range objs {
+		p.Put(0, o)
+	}
+	recycled := 0
+	for i := 0; i < 16; i++ {
+		o := p.Get(1)
+		for _, old := range objs {
+			if o == old {
+				recycled++
+				break
+			}
+		}
+	}
+	if recycled == 0 {
+		t.Fatal("no objects flowed through the global arena to worker 1")
+	}
+}
+
+func TestSerialRecycles(t *testing.T) {
+	s := NewSerial[obj]()
+	a := s.Get(0)
+	s.Put(0, a)
+	if b := s.Get(1); b != a {
+		t.Fatal("serial allocator did not recycle")
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	for _, alloc := range []Allocator[obj]{NewPooled[obj](4, 8), NewSerial[obj]()} {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				held := make([]*obj, 0, 8)
+				for i := 0; i < 2000; i++ {
+					o := alloc.Get(id)
+					o.id = id
+					held = append(held, o)
+					if len(held) == cap(held) {
+						for _, h := range held {
+							if h.id != id {
+								t.Errorf("%s: object shared between workers while live", alloc.Name())
+							}
+							alloc.Put(id, h)
+						}
+						held = held[:0]
+					}
+				}
+				for _, h := range held {
+					alloc.Put(id, h)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkPooledGetPut(b *testing.B) {
+	p := NewPooled[obj](1, 64)
+	for i := 0; i < b.N; i++ {
+		o := p.Get(0)
+		p.Put(0, o)
+	}
+}
+
+func BenchmarkSerialGetPut(b *testing.B) {
+	s := NewSerial[obj]()
+	for i := 0; i < b.N; i++ {
+		o := s.Get(0)
+		s.Put(0, o)
+	}
+}

@@ -1,0 +1,103 @@
+// Package asm implements the Atomic State Machine (ASM) concept from
+// paper §2.2–2.3: a finite state machine encoded in an atomic flag word
+// whose only transition is the delivery of a message that sets one or
+// more previously unset flags.
+//
+// Because flags can only be set (never cleared) and the word is finite,
+// every access receives at most |F| non-empty messages over its lifetime,
+// which bounds the number of atomic update conflicts and makes delivery
+// wait-free (Lemma 2.3). The dependency system in internal/deps builds
+// its propagation protocol on these primitives.
+package asm
+
+import "sync/atomic"
+
+// Flags is the set F of state bits of one Atomic State Machine.
+type Flags uint64
+
+// State is the atomic flag word of one ASM instance. The zero value is
+// the empty starting state (F_a = ∅).
+type State struct {
+	bits atomic.Uint64
+}
+
+// Load returns the current flag set.
+func (s *State) Load() Flags { return Flags(s.bits.Load()) }
+
+// Deliver atomically merges the message m into the state and returns the
+// flag word before and after the transition. The paper's restrictions
+// (m non-empty, m disjoint from the current state) guarantee progress;
+// redundant deliveries (m already set) are permitted here and detected by
+// before == after, so callers can make idempotent notifications cheap.
+//
+// The implementation is the CAS loop of the paper's Lemma 2.3: a CAS can
+// fail only because another delivery set at least one more flag, and with
+// a finite set-once flag word there are at most |F| such conflicts, so
+// delivery is wait-free. (A fetch-or would be equivalent; the explicit
+// loop matches the proof and sidesteps a Go 1.24.0 register-allocation
+// bug observed when atomic.Uint64.Or is inlined into a method call
+// argument list.)
+func (s *State) Deliver(m Flags) (before, after Flags) {
+	for {
+		old := s.bits.Load()
+		if old&uint64(m) == uint64(m) {
+			return Flags(old), Flags(old) // fully redundant
+		}
+		if s.bits.CompareAndSwap(old, old|uint64(m)) {
+			return Flags(old), Flags(old) | m
+		}
+	}
+}
+
+// Has reports whether every flag in want is set in f.
+func (f Flags) Has(want Flags) bool { return f&want == want }
+
+// Transitioned reports whether the delivery that moved the state from
+// before to after completed the conjunction cond: all bits of cond are
+// set in after and at least one of them was newly set. Because flags are
+// set-once, exactly one delivery in any concurrent history observes the
+// transition for a given cond, which is how the dependency system makes
+// each propagation action fire exactly once without locks.
+func Transitioned(before, after, cond Flags) bool {
+	return after&cond == cond && before&cond != cond
+}
+
+// Message is one data-access message (paper Listing 2): flags to set on
+// the target ASM. The "flags after propagation" half of the paper's
+// message (delivery notification to the originator) is expressed by the
+// dependency layer pushing a follow-up message, keeping this type simple.
+type Message[T any] struct {
+	To   T
+	Bits Flags
+}
+
+// Mailbox is the per-worker container of undelivered messages (paper
+// Fig. 2). It is strictly thread-local: each worker drains its own
+// mailbox after triggering a delivery cascade. A slice-backed LIFO is
+// used; delivery order between independent messages is irrelevant
+// because flag sets only grow.
+type Mailbox[T any] struct {
+	queue []Message[T]
+}
+
+// Push enqueues a message for later delivery.
+func (mb *Mailbox[T]) Push(to T, bits Flags) {
+	mb.queue = append(mb.queue, Message[T]{To: to, Bits: bits})
+}
+
+// Pop removes and returns the most recently pushed message.
+func (mb *Mailbox[T]) Pop() (Message[T], bool) {
+	if len(mb.queue) == 0 {
+		var zero Message[T]
+		return zero, false
+	}
+	m := mb.queue[len(mb.queue)-1]
+	mb.queue = mb.queue[:len(mb.queue)-1]
+	return m, true
+}
+
+// Empty reports whether no messages are pending.
+func (mb *Mailbox[T]) Empty() bool { return len(mb.queue) == 0 }
+
+// Len returns the number of pending messages.
+func (mb *Mailbox[T]) Len() int { return len(mb.queue) }

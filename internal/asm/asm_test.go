@@ -1,0 +1,152 @@
+package asm
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeliverMergesFlags(t *testing.T) {
+	var s State
+	before, after := s.Deliver(0b0101)
+	if before != 0 || after != 0b0101 {
+		t.Fatalf("Deliver: before=%b after=%b", before, after)
+	}
+	before, after = s.Deliver(0b0010)
+	if before != 0b0101 || after != 0b0111 {
+		t.Fatalf("second Deliver: before=%b after=%b", before, after)
+	}
+	if s.Load() != 0b0111 {
+		t.Fatalf("Load = %b", s.Load())
+	}
+}
+
+func TestRedundantDeliveryDetected(t *testing.T) {
+	var s State
+	s.Deliver(0b1)
+	before, after := s.Deliver(0b1)
+	if before != after {
+		t.Fatal("redundant delivery not detectable via before==after")
+	}
+}
+
+func TestTransitionedExactlyOnceSequential(t *testing.T) {
+	var s State
+	const cond Flags = 0b11
+	fired := 0
+	for _, m := range []Flags{0b01, 0b100, 0b10, 0b10} {
+		b, a := s.Deliver(m)
+		if Transitioned(b, a, cond) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("condition fired %d times, want 1", fired)
+	}
+}
+
+func TestTransitionedExactlyOnceConcurrent(t *testing.T) {
+	// The central exactly-once property: when many goroutines deliver
+	// single-flag messages, exactly one of them observes the completion
+	// of any given conjunction.
+	const cond Flags = 0b1111
+	for round := 0; round < 200; round++ {
+		var s State
+		var fired int32
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for b := 0; b < 4; b++ {
+			wg.Add(1)
+			go func(bit int) {
+				defer wg.Done()
+				before, after := s.Deliver(1 << bit)
+				if Transitioned(before, after, cond) {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}(b)
+		}
+		wg.Wait()
+		if fired != 1 {
+			t.Fatalf("round %d: condition fired %d times, want exactly 1", round, fired)
+		}
+	}
+}
+
+func TestQuickMonotonicity(t *testing.T) {
+	// Property: flags only grow; after any sequence of deliveries the
+	// state equals the union of all messages (Definition 2.2).
+	f := func(msgs []uint64) bool {
+		var s State
+		var union Flags
+		for _, m := range msgs {
+			before, after := s.Deliver(Flags(m))
+			if after&before != before { // a flag was cleared
+				return false
+			}
+			union |= Flags(m)
+			if after != union {
+				return false
+			}
+		}
+		return s.Load() == union
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeliveryBoundedByFlagCount(t *testing.T) {
+	// Wait-freedom bound (Lemma 2.3): the number of effective (non
+	// redundant) deliveries an ASM can receive is bounded by |F| — each
+	// effective delivery sets at least one new bit.
+	f := func(msgs []uint64) bool {
+		var s State
+		effective := 0
+		for _, m := range msgs {
+			if m == 0 {
+				continue
+			}
+			before, after := s.Deliver(Flags(m))
+			if before != after {
+				effective++
+			}
+		}
+		return effective <= bits.OnesCount64(uint64(s.Load()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxLIFO(t *testing.T) {
+	var mb Mailbox[int]
+	mb.Push(1, 0b1)
+	mb.Push(2, 0b10)
+	if mb.Len() != 2 || mb.Empty() {
+		t.Fatal("Len/Empty wrong after pushes")
+	}
+	m, ok := mb.Pop()
+	if !ok || m.To != 2 || m.Bits != 0b10 {
+		t.Fatalf("Pop = %+v,%v", m, ok)
+	}
+	m, _ = mb.Pop()
+	if m.To != 1 {
+		t.Fatalf("Pop = %+v", m)
+	}
+	if _, ok := mb.Pop(); ok || !mb.Empty() {
+		t.Fatal("mailbox not empty after draining")
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := Flags(0b1010)
+	if !f.Has(0b1000) || !f.Has(0b1010) || f.Has(0b1) || f.Has(0b1011) {
+		t.Fatal("Has misbehaves")
+	}
+	if !f.Has(0) {
+		t.Fatal("every set contains the empty set")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestWeakAccessEndToEnd reproduces the OmpSs-2 pattern the paper's §2.1
+// nesting discussion describes: a parent task declares weakinout and
+// delegates the actual work to children; an outer successor is ordered
+// after the children without the parent ever blocking.
+func TestWeakAccessEndToEnd(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			rt := New(testConfig(v))
+			defer rt.Close()
+			blocks := make([]float64, 4)
+			var sum float64
+			rt.Run(func(c *Ctx) {
+				// Phase producer: a weak parent spawning one strong
+				// child per block.
+				c.Spawn(func(cc *Ctx) {
+					for i := range blocks {
+						i := i
+						cc.Spawn(func(*Ctx) { blocks[i] = float64(i + 1) },
+							Out(&blocks[i]))
+					}
+				}, WeakInOut(&blocks[0]), WeakInOut(&blocks[1]),
+					WeakInOut(&blocks[2]), WeakInOut(&blocks[3]))
+				// Consumer: reads every block; must observe all writes.
+				c.Spawn(func(*Ctx) {
+					for _, b := range blocks {
+						sum += b
+					}
+				}, In(&blocks[0]), In(&blocks[1]), In(&blocks[2]), In(&blocks[3]))
+			})
+			if sum != 10 {
+				t.Fatalf("sum = %v, want 10 (consumer overtook weak parent's children)", sum)
+			}
+		})
+	}
+}
+
+// TestLocalityPolicyEndToEnd runs a full workload on the locality policy
+// wiring (SyncScheduler + NUMA-affine queues).
+func TestLocalityPolicyEndToEnd(t *testing.T) {
+	cfg := testConfig(VariantOptimized)
+	cfg.Policy = PolicyLocality
+	cfg.NUMANodes = 2
+	rt := New(cfg)
+	defer rt.Close()
+	var count atomic.Int64
+	var x float64
+	rt.Run(func(c *Ctx) {
+		for i := 0; i < 300; i++ {
+			c.Spawn(func(*Ctx) { count.Add(1) })
+		}
+		for i := 0; i < 50; i++ {
+			c.Spawn(func(*Ctx) { x++ }, InOut(&x))
+		}
+		c.Taskwait()
+	})
+	if count.Load() != 300 || x != 50 {
+		t.Fatalf("count=%d x=%v, want 300, 50", count.Load(), x)
+	}
+}
+
+// TestWeakParentRunsImmediately checks the "never delays the task" half
+// of the weak contract at the runtime level.
+func TestWeakParentRunsImmediately(t *testing.T) {
+	rt := New(testConfig(VariantOptimized))
+	defer rt.Close()
+	var x float64
+	parentRanEarly := false
+	rt.Run(func(c *Ctx) {
+		// A slow strong writer holds the chain.
+		release := make(chan struct{})
+		c.Spawn(func(*Ctx) { <-release; x = 1 }, InOut(&x))
+		// The weak task must run while the writer is still blocked.
+		done := make(chan struct{})
+		c.Spawn(func(*Ctx) { parentRanEarly = true; close(done) }, WeakInOut(&x))
+		<-done
+		close(release)
+		c.Taskwait()
+	})
+	if !parentRanEarly {
+		t.Fatal("weak task was delayed behind the strong writer")
+	}
+	if x != 1 {
+		t.Fatalf("x = %v", x)
+	}
+}

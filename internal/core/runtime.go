@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/deps"
+	"repro/internal/locks"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Trace kind aliases keep task.go free of a second import block.
+const (
+	traceTaskwaitStart = trace.KTaskwaitStart
+	traceTaskwaitEnd   = trace.KTaskwaitEnd
+)
+
+// Runtime is a Nanos6-style task-based runtime instance: a pool of
+// worker goroutines (one per simulated core, optionally OS-thread
+// pinned), a dependency system, a scheduler and a task allocator, wired
+// according to Config.
+type Runtime struct {
+	cfg    Config
+	sched  sched.Scheduler[*Task]
+	deps   deps.System
+	alloc  alloc.Allocator[Task]
+	tracer *trace.Tracer
+
+	// global is the root dependency domain: the parent of every task
+	// submitted through Run.
+	global Task
+
+	live     atomic.Int64
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+	runMu    sync.Mutex
+
+	// noise state for the Figure 11 experiment.
+	serveCount atomic.Int64
+	noiseDone  atomic.Bool
+}
+
+// New builds and starts a runtime. The caller must Close it.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{cfg: cfg}
+	if cfg.TraceCapacity > 0 {
+		rt.tracer = trace.New(cfg.Workers, cfg.TraceCapacity)
+	}
+
+	ready := func(n *deps.Node, worker int) {
+		rt.sched.Add(n.Payload.(*Task), worker)
+	}
+	switch cfg.Deps {
+	case DepsWaitFree:
+		rt.deps = deps.NewWaitFree(ready, cfg.Workers)
+	case DepsLocked:
+		rt.deps = deps.NewLocked(ready, cfg.Workers)
+	default:
+		panic(fmt.Sprintf("core: unknown deps kind %d", cfg.Deps))
+	}
+
+	var policy sched.Policy[*Task]
+	switch cfg.Policy {
+	case PolicyLIFO:
+		policy = sched.NewLIFO[*Task]()
+	case PolicyLocality:
+		policy = sched.NewLocality[*Task](cfg.Workers, cfg.NUMANodes)
+	default:
+		policy = sched.NewFIFO[*Task]()
+	}
+
+	hooks := sched.Hooks{
+		OnServe: func(owner, served int) {
+			rt.tracer.Emit(owner, trace.KServe, uint64(served))
+			rt.maybeInjectNoise(owner)
+		},
+		OnDrain: func(owner, n int) {
+			rt.tracer.Emit(owner, trace.KDrain, uint64(n))
+			// Drains count as service activity for the noise trigger:
+			// on hosts with few physical cores delegation serves are
+			// rare (the lock is never observed busy), but the owner is
+			// just as vulnerable to an interrupt while draining.
+			rt.maybeInjectNoise(owner)
+		},
+	}
+	switch cfg.Scheduler {
+	case SchedSyncDTLock:
+		rt.sched = sched.NewSync(policy, cfg.Workers, cfg.NUMANodes, cfg.SPSCCap, hooks)
+	case SchedCentralPTLock:
+		rt.sched = sched.NewCentral(policy, cfg.Workers)
+	case SchedBlocking:
+		rt.sched = sched.NewBlocking(policy)
+	case SchedWorkStealing:
+		rt.sched = sched.NewWorkStealing[*Task](cfg.Workers)
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler kind %d", cfg.Scheduler))
+	}
+
+	switch cfg.Alloc {
+	case AllocPooled:
+		rt.alloc = alloc.NewPooled[Task](cfg.Workers, 64)
+	case AllocSerial:
+		rt.alloc = alloc.NewSerial[Task]()
+	default:
+		panic(fmt.Sprintf("core: unknown alloc kind %d", cfg.Alloc))
+	}
+
+	rt.global.rt = rt
+	rt.global.alive.Store(1) // never completes
+
+	rt.wg.Add(cfg.Workers)
+	for id := 0; id < cfg.Workers; id++ {
+		go rt.workerLoop(id)
+	}
+	return rt
+}
+
+// Config returns the runtime's effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Tracer returns the instrumentation backend, or nil when tracing is
+// disabled.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
+
+// SchedulerName and DepsName identify the wired implementations.
+func (rt *Runtime) SchedulerName() string { return rt.sched.Name() }
+
+// DepsName returns the dependency system's name.
+func (rt *Runtime) DepsName() string { return rt.deps.Name() }
+
+// Run submits a root task and blocks until it and all its descendants
+// have fully completed. Run may be called repeatedly (sequentially or
+// from multiple goroutines; roots are serialized because the global
+// domain has a single registration writer).
+func (rt *Runtime) Run(body func(*Ctx), accs ...deps.AccessSpec) {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	external := rt.cfg.Workers
+	done := make(chan struct{})
+	t := rt.newTask(&rt.global, body, accs, external)
+	t.done = done
+	rt.register(&rt.global, t, external)
+	<-done
+}
+
+// newTask allocates and initializes a task without registering it.
+func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec, worker int) *Task {
+	t := rt.alloc.Get(worker)
+	t.rt = rt
+	t.body = body
+	t.parent = parent
+	t.alive.Store(1)
+	t.node.Payload = t
+	if len(accs) > 0 {
+		t.node.Accesses = make([]deps.Access, len(accs))
+		for i := range accs {
+			t.node.Accesses[i].Init(&t.node, accs[i])
+		}
+	}
+	return t
+}
+
+// register links the task into the dependency graph; the task becomes
+// ready (and is scheduled) as soon as its accesses allow.
+func (rt *Runtime) register(parent *Task, t *Task, worker int) {
+	parent.alive.Add(1)
+	rt.live.Add(1)
+	rt.tracer.Emit(worker, trace.KTaskCreate, 0)
+	t0 := rt.tracer.Now()
+	rt.deps.Register(&parent.node, &t.node, worker)
+	if rt.tracer != nil {
+		rt.tracer.EmitTS(worker, trace.KDepRegister, uint64(rt.tracer.Now()-t0), t0)
+	}
+}
+
+// spawn implements Ctx.Spawn.
+func (rt *Runtime) spawn(parent *Task, body func(*Ctx), accs []deps.AccessSpec, worker int) {
+	t := rt.newTask(parent, body, accs, worker)
+	rt.register(parent, t, worker)
+}
+
+// workerLoop is the per-core scheduling loop: ask the scheduler for work,
+// run it, and spin-yield while idle. The loop exits once the runtime is
+// stopping and no live tasks remain.
+func (rt *Runtime) workerLoop(id int) {
+	defer rt.wg.Done()
+	if rt.cfg.PinWorkers {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for i := 0; ; i++ {
+		var t0 int64
+		if rt.tracer != nil {
+			t0 = rt.tracer.Now()
+		}
+		t := rt.sched.Get(id)
+		if t != nil {
+			if rt.tracer != nil {
+				rt.tracer.EmitTS(id, trace.KSchedEnter, 0, t0)
+				rt.tracer.Emit(id, trace.KSchedLeave, 0)
+			}
+			rt.execute(t, id)
+			i = 0
+			continue
+		}
+		if rt.stopping.Load() && rt.live.Load() == 0 {
+			return
+		}
+		spinOrYield(i)
+	}
+}
+
+// execute runs one ready task to completion on worker id: commutative
+// token acquisition, body, dependency release, completion cascade.
+func (rt *Runtime) execute(t *Task, id int) {
+	if t.node.HasCommutative() && !t.node.TryAcquireCommutative() {
+		// Lost the token race: re-enqueue and let the worker move on.
+		rt.sched.Add(t, id)
+		runtime.Gosched()
+		return
+	}
+	rt.tracer.Emit(id, trace.KTaskStart, 0)
+	if t.body != nil {
+		ctx := Ctx{rt: rt, worker: id, task: t}
+		t.body(&ctx)
+	}
+	rt.tracer.Emit(id, trace.KTaskEnd, 0)
+	t.node.ReleaseCommutative()
+
+	t0 := rt.tracer.Now()
+	rt.deps.Unregister(&t.node, id)
+	if rt.tracer != nil {
+		rt.tracer.EmitTS(id, trace.KDepUnregister, uint64(rt.tracer.Now()-t0), t0)
+	}
+	rt.completeOne(t, id)
+}
+
+// completeOne releases the body guard of t and cascades full completions
+// up the ancestor chain. Fully completed tasks are recycled; their
+// accesses are left to the garbage collector (see Task.reset).
+func (rt *Runtime) completeOne(t *Task, id int) {
+	for t != nil && t != &rt.global && t.alive.Add(-1) == 0 {
+		parent := t.parent
+		rt.live.Add(-1)
+		if t.done != nil {
+			close(t.done)
+		}
+		t.reset()
+		rt.alloc.Put(id, t)
+		t = parent
+	}
+}
+
+// maybeInjectNoise stalls the serving worker once, after the configured
+// number of serves, emulating a kernel interrupt preempting the DTLock
+// owner (Figure 11). The stall interval is logged as a kernel event.
+func (rt *Runtime) maybeInjectNoise(owner int) {
+	n := rt.cfg.Noise
+	if n.AfterServes <= 0 || n.Duration <= 0 || rt.noiseDone.Load() {
+		return
+	}
+	if rt.serveCount.Add(1) != int64(n.AfterServes) || !rt.noiseDone.CompareAndSwap(false, true) {
+		return
+	}
+	start := rt.tracer.Now()
+	deadline := time.Now().Add(n.Duration)
+	for time.Now().Before(deadline) {
+		// Busy stall: the owner holds the DTLock throughout, exactly the
+		// situation the paper's Figure 11 trace captures.
+	}
+	rt.tracer.EmitTS(owner, trace.KInterrupt, uint64(n.Duration.Nanoseconds()), start)
+}
+
+// Close shuts the runtime down after all submitted work has finished.
+// It must not be called concurrently with Run.
+func (rt *Runtime) Close() {
+	rt.stopping.Store(true)
+	rt.sched.Stop()
+	rt.wg.Wait()
+}
+
+// LiveTasks returns the number of tasks created but not yet fully
+// completed (diagnostics and tests).
+func (rt *Runtime) LiveTasks() int64 { return rt.live.Load() }
+
+// spinOrYield performs bounded busy-waiting before yielding to the Go
+// scheduler, keeping oversubscribed worker counts live on small hosts.
+func spinOrYield(i int) { locks.Spin(i) }

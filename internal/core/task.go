@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/deps"
+)
+
+// Task is one unit of work with data dependencies. Tasks are created
+// with Runtime.Run (root tasks) or Ctx.Spawn (nested tasks) and recycled
+// through the configured allocator once fully complete (body finished and
+// every descendant fully complete).
+type Task struct {
+	node   deps.Node
+	body   func(*Ctx)
+	parent *Task
+	rt     *Runtime
+
+	// alive counts full completions outstanding: 1 guard for the body
+	// plus one per live child. The decrement to zero completes the task.
+	alive atomic.Int64
+
+	// done, when non-nil (root tasks), is closed at full completion.
+	done chan struct{}
+}
+
+// reset prepares a recycled Task shell for reuse. The accesses slice is
+// deliberately NOT recycled: successor pointers of the dependency chains
+// may still reference it, so its lifetime is left to the garbage
+// collector while the Task shell itself is reused (see DESIGN.md).
+func (t *Task) reset() {
+	t.node.Reset()
+	t.body = nil
+	t.parent = nil
+	t.rt = nil
+	t.alive.Store(0)
+	t.done = nil
+}
+
+// Ctx is the execution context passed to a task body: it identifies the
+// running task and worker, and exposes the task-side runtime API.
+type Ctx struct {
+	rt     *Runtime
+	worker int
+	task   *Task
+}
+
+// Worker returns the index of the worker executing the task.
+func (c *Ctx) Worker() int { return c.worker }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Spawn creates a child task with the given body and accesses. It may
+// only be called from the task's own body (sibling registration is
+// single-writer per domain, as in Nanos6). The child becomes ready when
+// its dependencies are satisfied and runs on any worker.
+func (c *Ctx) Spawn(body func(*Ctx), accs ...deps.AccessSpec) {
+	c.rt.spawn(c.task, body, accs, c.worker)
+}
+
+// Taskwait blocks until every child spawned by this task (and their
+// descendants) has fully completed, combining any open reductions first
+// (OmpSs-2 taskwait semantics). While waiting, the worker executes other
+// ready tasks instead of spinning.
+func (c *Ctx) Taskwait() {
+	rt := c.rt
+	t := c.task
+	rt.tracer.Emit(c.worker, traceTaskwaitStart, 0)
+	rt.deps.CloseDomain(&t.node, c.worker)
+	for i := 0; t.alive.Load() > 1; i++ {
+		if other := rt.sched.TryGet(c.worker); other != nil {
+			rt.execute(other, c.worker)
+			i = 0
+			continue
+		}
+		spinOrYield(i)
+	}
+	rt.tracer.Emit(c.worker, traceTaskwaitEnd, 0)
+}
+
+// ReductionBuffer returns this worker's privatized partial-result buffer
+// for the task's reduction access on p (declared with RedSpec). The
+// buffer holds the access's Len float64 elements, initialized to the
+// operation's identity.
+func (c *Ctx) ReductionBuffer(p *float64) []float64 {
+	return c.rt.deps.ReductionBuffer(&c.task.node, unsafe.Pointer(p), c.worker)
+}
+
+// AccessSpec aliases the dependency system's access declaration for
+// callers that build spec slices dynamically.
+type AccessSpec = deps.AccessSpec
+
+// Access spec constructors. Addresses identify dependencies (OmpSs-2
+// matches accesses by address); for array blocks pass the first element.
+
+// In declares a read access on p.
+func In[T any](p *T) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.Read}
+}
+
+// Out declares a write access on p.
+func Out[T any](p *T) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.Write}
+}
+
+// InOut declares a read-write access on p.
+func InOut[T any](p *T) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.ReadWrite}
+}
+
+// RedSpec declares a reduction access over n float64 elements at p.
+func RedSpec(p *float64, n int, op deps.ReductionOp) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Len: n, Type: deps.Reduction, Op: op}
+}
+
+// Commutative declares a commutative access on p.
+func Commutative[T any](p *T) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.Commutative}
+}
+
+// WeakIn declares a weak read access on p: the task does not read p
+// itself but may spawn children that do. Weak accesses never delay the
+// task's execution; they anchor the children's dependency chains so
+// successors at this nesting level wait for the children (OmpSs-2
+// weakin).
+func WeakIn[T any](p *T) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.Read, Weak: true}
+}
+
+// WeakInOut declares a weak read-write access on p (OmpSs-2 weakinout):
+// like InOut for the task's children, invisible to the task itself.
+func WeakInOut[T any](p *T) deps.AccessSpec {
+	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.ReadWrite, Weak: true}
+}

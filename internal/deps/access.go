@@ -1,0 +1,120 @@
+package deps
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/asm"
+)
+
+// Atomic State Machine flags of one access (paper §2.2). Flags are
+// set-once: the only operation on an access's state is the delivery of a
+// message that merges new flags, so the state machine is acyclic and
+// every propagation action fires exactly once (asm.Transitioned).
+const (
+	// flagReadSat: every predecessor that writes the address has
+	// released; read-type accesses may execute.
+	flagReadSat asm.Flags = 1 << iota
+	// flagWriteSat: every predecessor has fully released; exclusive
+	// accesses may execute.
+	flagWriteSat
+	// flagFinished: the owning task's body has completed.
+	flagFinished
+	// flagChildrenDone: every child access registered under this access
+	// has released (trivially true for accesses without children).
+	flagChildrenDone
+	// flagHasSuccessor: the successor pointer has been installed.
+	flagHasSuccessor
+	// flagHasChild: the child pointer has been installed.
+	flagHasChild
+)
+
+// flagsReleased is the conjunction after which an access no longer
+// constrains anything upstream: satisfied, finished, and its nested
+// accesses are done. Releasing forwards full satisfiability to the
+// successor and notifies the parent access across nesting levels.
+const flagsReleased = flagReadSat | flagWriteSat | flagFinished | flagChildrenDone
+
+// Access is one data access of a task (paper Listing 1): the address,
+// the access type, the ASM flag word, and the successor/child links that
+// form the binary trees of Figure 1.
+type Access struct {
+	state asm.State
+
+	addr   unsafe.Pointer
+	length int
+	typ    AccessType
+	op     ReductionOp
+
+	node *Node
+
+	// succ is the next access to the same address at the same nesting
+	// level; child is the first access to the same address one nesting
+	// level below. Both are written before the corresponding Has* flag
+	// is delivered, which orders the publication.
+	succ  atomic.Pointer[Access]
+	child atomic.Pointer[Access]
+
+	// parentAccess is the access one nesting level above that this
+	// access was registered under, if any. Releasing decrements its
+	// childGuard.
+	parentAccess *Access
+
+	// childGuard counts live child accesses plus one guard held by the
+	// owning task until it finishes; the decrement to zero delivers
+	// flagChildrenDone exactly once.
+	childGuard atomic.Int64
+
+	// group is the reduction or commutative run this access belongs to,
+	// nil for ordinary accesses. groupHead marks the first member, which
+	// receives satisfiability from the chain predecessor.
+	group     *group
+	groupHead bool
+
+	// succReadCompat records, at link time, that this access and its
+	// successor are both reads, so read satisfiability can be forwarded
+	// early (before this access finishes).
+	succReadCompat bool
+
+	// alias marks a duplicate access (same task, same address); aliases
+	// do not participate in the chain.
+	alias bool
+
+	// weak marks an access that anchors child chains without gating the
+	// task's own execution (OmpSs-2 weak in/out/inout).
+	weak bool
+
+	// token, when non-nil, is the commutative execution token shared by
+	// the access's group (also used by the locking baseline).
+	token *atomic.Int32
+
+	// lentry is the locking baseline's chain entry for this access.
+	lentry *lentry
+}
+
+// Init fills the immutable part of the access from its spec.
+func (a *Access) Init(n *Node, s AccessSpec) {
+	a.state = asm.State{}
+	a.addr = s.Addr
+	a.length = s.Len
+	a.typ = s.Type
+	a.op = s.Op
+	a.node = n
+	a.succ.Store(nil)
+	a.child.Store(nil)
+	a.parentAccess = nil
+	a.childGuard.Store(1)
+	a.group = nil
+	a.groupHead = false
+	a.succReadCompat = false
+	a.alias = false
+	a.weak = s.Weak
+	a.token = nil
+	a.lentry = nil
+}
+
+// Addr returns the dependency address of the access.
+func (a *Access) Addr() unsafe.Pointer { return a.addr }
+
+// Type returns the access type.
+func (a *Access) Type() AccessType { return a.typ }

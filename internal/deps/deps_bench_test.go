@@ -1,0 +1,68 @@
+package deps
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// benchRegisterUnregister measures the full dependency lifecycle of one
+// task in a writer chain: registration, satisfiability propagation on
+// the predecessor's release, and unregistration. This is the §2 hot
+// path; the wait-free system's advantage over the locking baseline here
+// is the mechanism behind the "w/o wait-free dependencies" gap.
+func benchRegisterUnregister(b *testing.B, kind string) {
+	var cell float64
+	te := newExec(kind, 2)
+	root := mkTask("root", nil, nil)
+	spec := []AccessSpec{{Addr: unsafe.Pointer(&cell), Type: ReadWrite}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := mkTask("w", spec, nil)
+		te.spawn(root, tk, 0)
+		// The chain head is always ready immediately (predecessor
+		// released); run and release it.
+		got := te.pop(nil)
+		te.sys.Unregister(&got.node, 0)
+	}
+}
+
+func BenchmarkWaitFreeChainLifecycle(b *testing.B) { benchRegisterUnregister(b, "waitfree") }
+func BenchmarkLockedChainLifecycle(b *testing.B)   { benchRegisterUnregister(b, "locked") }
+
+// benchIndependent measures tasks with disjoint accesses: pure
+// registration overhead, no chain interaction.
+func benchIndependent(b *testing.B, kind string) {
+	cells := make([]float64, 64)
+	te := newExec(kind, 2)
+	root := mkTask("root", nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &cells[i%len(cells)]
+		tk := mkTask("w", []AccessSpec{{Addr: unsafe.Pointer(c), Type: ReadWrite}}, nil)
+		te.spawn(root, tk, 0)
+		got := te.pop(nil)
+		te.sys.Unregister(&got.node, 0)
+	}
+}
+
+func BenchmarkWaitFreeIndependentTasks(b *testing.B) { benchIndependent(b, "waitfree") }
+func BenchmarkLockedIndependentTasks(b *testing.B)   { benchIndependent(b, "locked") }
+
+// benchReduction measures reduction-run membership: join, slot, release.
+func benchReduction(b *testing.B, kind string) {
+	target := []float64{0}
+	te := newExec(kind, 2)
+	root := mkTask("root", nil, nil)
+	spec := []AccessSpec{{Addr: unsafe.Pointer(&target[0]), Len: 1, Type: Reduction, Op: OpSum}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := mkTask("r", spec, nil)
+		te.spawn(root, tk, 0)
+		got := te.pop(nil)
+		te.sys.ReductionBuffer(&got.node, unsafe.Pointer(&target[0]), 0)[0]++
+		te.sys.Unregister(&got.node, 0)
+	}
+}
+
+func BenchmarkWaitFreeReductionMember(b *testing.B) { benchReduction(b, "waitfree") }
+func BenchmarkLockedReductionMember(b *testing.B)   { benchReduction(b, "locked") }

@@ -1,0 +1,342 @@
+package deps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Locked is the fine-grained-locking dependency system: the design the
+// paper's wait-free implementation replaced, kept as the "w/o wait-free
+// dependencies" variant of the evaluation (§6.2). Every access chain
+// (one per address per domain) is protected by its own mutex; each
+// registration and each release acquires the chain lock and rescans the
+// chain to propagate satisfiability. Under fine-grained tasks the chain
+// locks of hot addresses serialize the runtime, which is exactly the
+// bottleneck Figure 4-6's "w/o wait-free dependencies" series exhibits.
+type Locked struct {
+	ready   ReadyFn
+	workers int
+}
+
+// NewLocked returns the locking dependency system.
+func NewLocked(ready ReadyFn, workers int) *Locked {
+	return &Locked{ready: ready, workers: workers}
+}
+
+// Name implements System.
+func (s *Locked) Name() string { return "fine-grained-locking" }
+
+// lchain is one per-(domain,address) dependency chain.
+type lchain struct {
+	mu      sync.Mutex
+	entries []*lentry
+	head    int // index of the first non-released entry
+	closed  bool
+	// parentEntry/parentChain locate the parent-task access this chain
+	// nests under, fixed at chain creation.
+	parentEntry *lentry
+	parentChain *lchain
+}
+
+// lentry is one access's position in a chain.
+type lentry struct {
+	node      *Node
+	access    *Access
+	typ       AccessType
+	finished  bool
+	satisfied bool
+	// pendingChildren counts live child accesses plus one guard held
+	// until the owning task finishes. Zero means fully released.
+	pendingChildren atomic.Int64
+	// parentEntry/parentChain locate the access one nesting level up.
+	parentEntry *lentry
+	parentChain *lchain
+	run         *lrun
+	chain       *lchain
+}
+
+func (e *lentry) done() bool { return e.pendingChildren.Load() == 0 }
+
+// lrun is a reduction or commutative run in the locking baseline.
+type lrun struct {
+	mu       sync.Mutex
+	op       ReductionOp
+	addr     unsafe.Pointer
+	length   int
+	slots    [][]float64
+	token    atomic.Int32
+	combined bool
+}
+
+func (r *lrun) slot(worker int) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.slots[worker]
+	if s == nil {
+		s = make([]float64, r.length)
+		switch r.op {
+		case OpMax:
+			for i := range s {
+				s[i] = math.Inf(-1)
+			}
+		case OpMin:
+			for i := range s {
+				s[i] = math.Inf(1)
+			}
+		}
+		r.slots[worker] = s
+	}
+	return s
+}
+
+func (r *lrun) combine() {
+	if r.combined {
+		return
+	}
+	r.combined = true
+	dst := unsafe.Slice((*float64)(r.addr), r.length)
+	for _, s := range r.slots {
+		if s == nil {
+			continue
+		}
+		switch r.op {
+		case OpSum:
+			for i := range dst {
+				dst[i] += s[i]
+			}
+		case OpMax:
+			for i := range dst {
+				dst[i] = math.Max(dst[i], s[i])
+			}
+		case OpMin:
+			for i := range dst {
+				dst[i] = math.Min(dst[i], s[i])
+			}
+		}
+	}
+}
+
+// ldefer accumulates cross-chain work discovered during a rescan so it
+// can be applied after the chain lock is dropped (avoiding lock nesting,
+// the deadlock hazard the paper attributes to this design).
+type ldefer struct {
+	chains []*lchain
+}
+
+// Register implements System.
+func (s *Locked) Register(parent, n *Node, worker int) {
+	n.pending.Store(1)
+	if parent.ldomain == nil {
+		parent.ldomain = make(map[unsafe.Pointer]*lchain, len(n.Accesses))
+	}
+	var post ldefer
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		if hasEarlierAccess(n, i) {
+			a.alias = true
+			continue
+		}
+		ch, ok := parent.ldomain[a.addr]
+		if !ok {
+			ch = &lchain{}
+			parent.ldomain[a.addr] = ch
+			if pa := findOwnAccess(parent, a.addr); pa != nil && pa.lentry != nil {
+				ch.parentEntry = pa.lentry
+				ch.parentChain = pa.lentry.chain
+			}
+		}
+		parentEntry, parentChain := ch.parentEntry, ch.parentChain
+
+		ch.mu.Lock()
+		e := &lentry{node: n, access: a, typ: a.typ, chain: ch,
+			parentEntry: parentEntry, parentChain: parentChain}
+		e.pendingChildren.Store(1)
+		a.lentry = e
+		if parentEntry != nil {
+			parentEntry.pendingChildren.Add(1)
+		}
+		switch a.typ {
+		case Reduction:
+			e.run = s.runFor(ch, a)
+			e.satisfied = true // eager, privatized
+		case Commutative:
+			e.run = s.runFor(ch, a)
+			a.token = &e.run.token
+			n.pending.Add(1)
+		default:
+			if a.weak {
+				e.satisfied = true // weak: never gates execution
+			} else {
+				n.pending.Add(1)
+			}
+		}
+		ch.entries = append(ch.entries, e)
+		s.rescan(ch, &post, worker)
+		ch.mu.Unlock()
+	}
+	s.apply(&post, worker)
+	n.satisfied(s.ready, worker)
+}
+
+// runFor joins the chain's trailing open run if compatible, else starts a
+// new one. Caller holds ch.mu.
+func (s *Locked) runFor(ch *lchain, a *Access) *lrun {
+	if len(ch.entries) > ch.head {
+		last := ch.entries[len(ch.entries)-1]
+		if last.run != nil && last.typ == a.typ &&
+			(a.typ != Reduction || last.run.op == a.op) {
+			return last.run
+		}
+	}
+	return &lrun{op: a.op, addr: a.addr, length: a.length,
+		slots: make([][]float64, s.workers+1)}
+}
+
+// Unregister implements System.
+func (s *Locked) Unregister(n *Node, worker int) {
+	var post ldefer
+	s.closeChains(n, &post, worker)
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		e := a.lentry
+		if e == nil || a.alias {
+			continue
+		}
+		ch := e.chain
+		ch.mu.Lock()
+		e.finished = true
+		e.pendingChildren.Add(-1) // release the owner guard
+		s.rescan(ch, &post, worker)
+		ch.mu.Unlock()
+	}
+	s.apply(&post, worker)
+}
+
+// CloseDomain implements System.
+func (s *Locked) CloseDomain(n *Node, worker int) {
+	var post ldefer
+	s.closeChains(n, &post, worker)
+	s.apply(&post, worker)
+}
+
+func (s *Locked) closeChains(n *Node, post *ldefer, worker int) {
+	for _, ch := range n.ldomain {
+		ch.mu.Lock()
+		ch.closed = true
+		s.rescan(ch, post, worker)
+		ch.mu.Unlock()
+	}
+}
+
+// ReductionBuffer implements System.
+func (s *Locked) ReductionBuffer(n *Node, addr unsafe.Pointer, worker int) []float64 {
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		if a.addr == addr && a.typ == Reduction && a.lentry != nil && a.lentry.run != nil {
+			return a.lentry.run.slot(worker)
+		}
+	}
+	panic(fmt.Sprintf("deps: no reduction access on %p", addr))
+}
+
+// apply performs the cross-chain notifications collected by rescans,
+// cascading until quiescent. Chain locks are taken one at a time.
+func (s *Locked) apply(post *ldefer, worker int) {
+	for len(post.chains) > 0 {
+		ch := post.chains[len(post.chains)-1]
+		post.chains = post.chains[:len(post.chains)-1]
+		ch.mu.Lock()
+		s.rescan(ch, post, worker)
+		ch.mu.Unlock()
+	}
+}
+
+// rescan pops fully released entries off the front of the chain and
+// satisfies the new front run. Caller holds ch.mu. Cross-chain effects
+// (parent notifications) are deferred into post.
+func (s *Locked) rescan(ch *lchain, post *ldefer, worker int) {
+	for ch.head < len(ch.entries) {
+		e := ch.entries[ch.head]
+		if e.run != nil {
+			// Group run: released only as a whole, when every member is
+			// done and the run can no longer grow.
+			k := ch.head
+			all := true
+			for k < len(ch.entries) && ch.entries[k].run == e.run {
+				if !ch.entries[k].done() {
+					all = false
+				}
+				k++
+			}
+			runClosed := k < len(ch.entries) || ch.closed
+			if !all || !runClosed {
+				break
+			}
+			if e.typ == Reduction {
+				e.run.combine()
+			}
+			for i := ch.head; i < k; i++ {
+				s.release(ch.entries[i], post)
+				ch.entries[i] = nil
+			}
+			ch.head = k
+			continue
+		}
+		if !e.done() {
+			break
+		}
+		s.release(e, post)
+		ch.entries[ch.head] = nil
+		ch.head++
+	}
+
+	// Compact long-lived chains so released prefixes do not accumulate.
+	if ch.head > 64 && ch.head*2 > len(ch.entries) {
+		n := copy(ch.entries, ch.entries[ch.head:])
+		clear(ch.entries[n:])
+		ch.entries = ch.entries[:n]
+		ch.head = 0
+	}
+
+	if ch.head >= len(ch.entries) {
+		return
+	}
+	front := ch.entries[ch.head]
+	switch front.typ {
+	case Read:
+		for i := ch.head; i < len(ch.entries) && ch.entries[i].typ == Read; i++ {
+			s.satisfy(ch.entries[i], worker)
+		}
+	case Write, ReadWrite:
+		s.satisfy(front, worker)
+	case Reduction:
+		// Members were satisfied eagerly at registration.
+	case Commutative:
+		for i := ch.head; i < len(ch.entries) && ch.entries[i].run == front.run; i++ {
+			s.satisfy(ch.entries[i], worker)
+		}
+	}
+}
+
+func (s *Locked) satisfy(e *lentry, worker int) {
+	if e.satisfied {
+		return
+	}
+	e.satisfied = true
+	e.node.satisfied(s.ready, worker)
+}
+
+// release notifies the nesting level above that one child access is gone.
+func (s *Locked) release(e *lentry, post *ldefer) {
+	if e.parentEntry == nil {
+		return
+	}
+	if e.parentEntry.pendingChildren.Add(-1) == 0 && e.parentChain != nil {
+		post.chains = append(post.chains, e.parentChain)
+	}
+}
+
+var _ System = (*Locked)(nil)

@@ -1,0 +1,204 @@
+// Package deps implements the data-dependency system of the task-based
+// runtime: the paper's wait-free implementation built on Atomic State
+// Machines (§2), and the fine-grained-locking baseline it replaced (the
+// "w/o wait-free dependencies" variant of the evaluation, §6).
+//
+// Dependencies follow the OmpSs-2 model: a task declares *accesses*
+// (address + access type); accesses to the same address form chains with
+// successor links between sibling tasks and child links across nesting
+// levels (paper Fig. 1). Reductions and commutative accesses are access
+// types, not task-group constructs, matching OmpSs-2 rather than OpenMP.
+package deps
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// AccessType classifies one data access of a task.
+type AccessType uint8
+
+const (
+	// Read allows concurrent execution with other reads of the address.
+	Read AccessType = iota
+	// Write requires exclusive access.
+	Write
+	// ReadWrite requires exclusive access (OmpSs-2 inout).
+	ReadWrite
+	// Reduction privatizes the address per worker; consecutive reduction
+	// tasks of the same operation run concurrently and their partial
+	// results are combined when the reduction domain closes.
+	Reduction
+	// Commutative grants mutual exclusion without ordering: consecutive
+	// commutative tasks may run in any order but never simultaneously.
+	Commutative
+)
+
+// String returns the OmpSs-2 clause name of the access type.
+func (t AccessType) String() string {
+	switch t {
+	case Read:
+		return "in"
+	case Write:
+		return "out"
+	case ReadWrite:
+		return "inout"
+	case Reduction:
+		return "reduction"
+	case Commutative:
+		return "commutative"
+	}
+	return "unknown"
+}
+
+// exclusive reports whether the access type requires full exclusivity
+// with respect to its chain predecessors before the task may run.
+func (t AccessType) exclusive() bool { return t == Write || t == ReadWrite }
+
+// ReductionOp is the combination operation of a reduction access.
+type ReductionOp uint8
+
+const (
+	// OpSum combines partial results by addition (identity 0).
+	OpSum ReductionOp = iota
+	// OpMax combines partial results by maximum (identity -Inf).
+	OpMax
+	// OpMin combines partial results by minimum (identity +Inf).
+	OpMin
+)
+
+// AccessSpec describes one access at task-creation time. Addr identifies
+// the dependency (OmpSs-2 matches accesses by address); Len is the number
+// of float64 elements covered, used only by reductions to size the
+// privatized buffers.
+type AccessSpec struct {
+	Addr unsafe.Pointer
+	Len  int
+	Type AccessType
+	Op   ReductionOp
+	// Weak marks an OmpSs-2 weak access: the task does not itself touch
+	// the data, so the access never blocks the task's execution, but it
+	// anchors the dependency chains of the task's children at this
+	// nesting level (paper §2.1: "dependency domains of tasks on
+	// different nesting levels can share dependencies"). Weak accesses
+	// release like strong ones: successors still wait for the task's
+	// children registered under them.
+	Weak bool
+}
+
+// ReadyFn is invoked by a dependency system exactly once per task, when
+// the task's last blocking access becomes satisfied. It may be called
+// from any worker, including in the middle of Register (tasks with no
+// blocking predecessors) and Unregister (successors becoming ready).
+// The worker argument is the index of the calling worker, for routing
+// the ready task to that worker's scheduler insertion queue.
+type ReadyFn func(n *Node, worker int)
+
+// System is a dependency-tracking implementation. Register must be
+// called by the thread executing the parent task (sibling registration is
+// single-writer per domain, as in Nanos6); Unregister and CloseDomain may
+// be called from the worker that ran the task. The worker index selects
+// thread-local structures (message mailboxes, reduction slots) and must
+// be unique per concurrent caller.
+type System interface {
+	// Register links every access of n into the dependency graph of
+	// parent's domain and arms readiness tracking. It must be called
+	// exactly once per task, before the task can run.
+	Register(parent, n *Node, worker int)
+	// Unregister marks n's task finished and propagates satisfiability
+	// to successor and parent accesses (paper Definition 2.4).
+	Unregister(n *Node, worker int)
+	// CloseDomain closes any open reduction or commutative groups in n's
+	// domain so trailing reductions can combine. Called at taskwait.
+	CloseDomain(n *Node, worker int)
+	// ReductionBuffer returns the worker-private partial-result buffer
+	// for the reduction access of n on addr.
+	ReductionBuffer(n *Node, addr unsafe.Pointer, worker int) []float64
+	// Name identifies the implementation in traces and benchmarks.
+	Name() string
+}
+
+// Node is the per-task dependency record, embedded in the runtime's Task
+// structure. Payload carries the owning task for the ready callback.
+type Node struct {
+	Payload  any
+	Accesses []Access
+
+	// pending counts unsatisfied blocking accesses plus a registration
+	// guard; the transition to zero fires ReadyFn.
+	pending atomic.Int32
+
+	// domain maps address -> chain tail for the children of this task.
+	// It is written only by the thread executing this task (the creator
+	// of the children), so it needs no lock.
+	domain map[unsafe.Pointer]tailEntry
+
+	// ldomain is the equivalent domain map of the locking baseline.
+	ldomain map[unsafe.Pointer]*lchain
+}
+
+// tailEntry is the wait-free system's bottom-map entry: the most recent
+// access of a chain (or the open group run that currently ends it), plus
+// the parent-task access the chain nests under, if any.
+type tailEntry struct {
+	access *Access
+	group  *group
+	parent *Access
+}
+
+// Reset prepares a recycled Node for reuse by a new task.
+func (n *Node) Reset() {
+	n.Payload = nil
+	n.Accesses = nil
+	n.pending.Store(0)
+	n.domain = nil
+	n.ldomain = nil
+}
+
+// satisfied consumes one pending dependency and fires ready on the last.
+func (n *Node) satisfied(ready ReadyFn, worker int) {
+	if n.pending.Add(-1) == 0 {
+		ready(n, worker)
+	}
+}
+
+// TryAcquireCommutative attempts to take the execution token of every
+// commutative access of n. On failure it rolls back and returns false;
+// the caller should re-enqueue the task. Tokens are assigned by the
+// dependency system during Register.
+func (n *Node) TryAcquireCommutative() bool {
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		if a.token == nil {
+			continue
+		}
+		if !a.token.CompareAndSwap(0, 1) {
+			for j := 0; j < i; j++ {
+				if t := n.Accesses[j].token; t != nil {
+					t.Store(0)
+				}
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// ReleaseCommutative returns every commutative token held by n.
+func (n *Node) ReleaseCommutative() {
+	for i := range n.Accesses {
+		if t := n.Accesses[i].token; t != nil {
+			t.Store(0)
+		}
+	}
+}
+
+// HasCommutative reports whether any access of n needs an execution token.
+func (n *Node) HasCommutative() bool {
+	for i := range n.Accesses {
+		if n.Accesses[i].token != nil {
+			return true
+		}
+	}
+	return false
+}

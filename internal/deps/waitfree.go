@@ -1,0 +1,308 @@
+package deps
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/asm"
+)
+
+// mailbox is the per-worker container of undelivered data-access messages
+// (paper Fig. 2), specialized to accesses.
+type mailbox struct {
+	asm.Mailbox[*Access]
+}
+
+func (mb *mailbox) push(a *Access, f asm.Flags) { mb.Push(a, f) }
+
+// mbSlot pads each worker's mailbox onto its own cache line.
+type mbSlot struct {
+	mb mailbox
+	_  [40]byte
+}
+
+// WaitFree is the paper's wait-free dependency system (§2.2). All chain
+// state lives in set-once atomic flag words; the only mutation is the
+// delivery of a message via fetch-or, and every follow-up action is
+// triggered by an exactly-once flag-conjunction transition. Reduction and
+// commutative runs use a tiny per-run mutex off the critical path (see
+// group).
+type WaitFree struct {
+	ready   ReadyFn
+	workers int
+	mbs     []mbSlot
+}
+
+// NewWaitFree returns a wait-free dependency system for the given worker
+// count. Worker indices passed to the System methods must be in
+// [0, workers]; index workers is reserved for the external (non-worker)
+// thread that submits root tasks.
+func NewWaitFree(ready ReadyFn, workers int) *WaitFree {
+	return &WaitFree{ready: ready, workers: workers, mbs: make([]mbSlot, workers+1)}
+}
+
+// Name implements System.
+func (s *WaitFree) Name() string { return "wait-free" }
+
+// Register implements System. It links each access of n into the chains
+// of parent's domain. The domain map is single-writer (only the thread
+// executing the parent creates its children), so registration itself
+// needs no lock; all cross-thread interaction happens through messages.
+func (s *WaitFree) Register(parent, n *Node, worker int) {
+	mb := &s.mbs[worker].mb
+	n.pending.Store(1) // registration guard
+	if parent.domain == nil {
+		parent.domain = make(map[unsafe.Pointer]tailEntry, len(n.Accesses))
+	}
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		if hasEarlierAccess(n, i) {
+			// Duplicate declaration within one task: linking it into the
+			// chain would deadlock the task on itself, so alias it.
+			a.alias = true
+			continue
+		}
+		tail, ok := parent.domain[a.addr]
+		switch {
+		case ok && tail.group != nil:
+			s.linkAfterGroup(tail, a, mb)
+		case ok:
+			s.linkAfterAccess(tail, a, mb)
+		default:
+			tail.parent = findOwnAccess(parent, a.addr)
+			s.linkFresh(tail.parent, a, mb)
+		}
+		if a.alias {
+			continue
+		}
+		if a.group != nil {
+			parent.domain[a.addr] = tailEntry{group: a.group, parent: tail.parent}
+		} else {
+			parent.domain[a.addr] = tailEntry{access: a, parent: tail.parent}
+		}
+	}
+	s.drain(mb, worker)
+	n.satisfied(s.ready, worker) // release the registration guard
+}
+
+// Unregister implements System: the task finished, so deliver the
+// finished flag to every access and release each access's child guard
+// (paper Definition 2.4). Open groups created by the task's children are
+// closed first so trailing reductions combine.
+func (s *WaitFree) Unregister(n *Node, worker int) {
+	mb := &s.mbs[worker].mb
+	closeOpenGroups(n, mb)
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		if a.alias {
+			continue
+		}
+		mb.push(a, flagFinished)
+		if a.childGuard.Add(-1) == 0 {
+			mb.push(a, flagChildrenDone)
+		}
+	}
+	s.drain(mb, worker)
+}
+
+// CloseDomain implements System: close open reduction/commutative runs in
+// n's domain so their combines can happen (taskwait semantics).
+func (s *WaitFree) CloseDomain(n *Node, worker int) {
+	mb := &s.mbs[worker].mb
+	closeOpenGroups(n, mb)
+	s.drain(mb, worker)
+}
+
+// ReductionBuffer implements System.
+func (s *WaitFree) ReductionBuffer(n *Node, addr unsafe.Pointer, worker int) []float64 {
+	for i := range n.Accesses {
+		a := &n.Accesses[i]
+		if a.addr == addr && a.typ == Reduction && a.group != nil {
+			return a.group.slot(worker)
+		}
+	}
+	panic(fmt.Sprintf("deps: no reduction access on %p", addr))
+}
+
+func closeOpenGroups(n *Node, mb *mailbox) {
+	for _, t := range n.domain {
+		if t.group != nil {
+			t.group.close(nil, mb)
+		}
+	}
+}
+
+// findOwnAccess returns parent's access to addr, if any: the anchor for a
+// child chain crossing nesting levels (paper Fig. 1's child relation).
+// hasEarlierAccess reports whether accesses[0:i] already contains the
+// address of access i (duplicate declaration within one task).
+func hasEarlierAccess(n *Node, i int) bool {
+	addr := n.Accesses[i].addr
+	for j := 0; j < i; j++ {
+		if n.Accesses[j].addr == addr && !n.Accesses[j].alias {
+			return true
+		}
+	}
+	return false
+}
+
+func findOwnAccess(parent *Node, addr unsafe.Pointer) *Access {
+	for i := range parent.Accesses {
+		a := &parent.Accesses[i]
+		if a.addr == addr && !a.alias {
+			return a
+		}
+	}
+	return nil
+}
+
+// linkFresh starts a new chain for a. If the parent task itself accesses
+// the address, the chain roots under that access (child relation) and
+// inherits its satisfiability; otherwise the chain head is born satisfied.
+func (s *WaitFree) linkFresh(pa *Access, a *Access, mb *mailbox) {
+	s.armAccess(a, pa, mb)
+	if pa != nil {
+		pa.child.Store(a)
+		mb.push(pa, flagHasChild)
+	} else {
+		mb.push(a, flagReadSat|flagWriteSat)
+	}
+}
+
+// linkAfterAccess appends a after the current chain tail.
+func (s *WaitFree) linkAfterAccess(tail tailEntry, a *Access, mb *mailbox) {
+	prev := tail.access
+	s.armAccess(a, tail.parent, mb)
+	prev.succReadCompat = prev.typ == Read && a.typ == Read
+	prev.succ.Store(a)
+	mb.push(prev, flagHasSuccessor)
+}
+
+// linkAfterGroup either joins a compatible open run or closes the run and
+// chains a after it.
+func (s *WaitFree) linkAfterGroup(tail tailEntry, a *Access, mb *mailbox) {
+	g := tail.group
+	if g.compatible(a) && g.join(a, mb) {
+		a.parentAccess = tail.parent
+		if tail.parent != nil {
+			tail.parent.childGuard.Add(1)
+		}
+		if a.typ == Commutative {
+			a.node.pending.Add(1)
+		}
+		return
+	}
+	s.armAccess(a, tail.parent, mb)
+	g.close(a, mb)
+}
+
+// armAccess performs the per-access bookkeeping common to all link paths:
+// parent guard, pending count, and group creation for run-typed accesses.
+func (s *WaitFree) armAccess(a *Access, chainParent *Access, mb *mailbox) {
+	a.parentAccess = chainParent
+	if chainParent != nil {
+		chainParent.childGuard.Add(1)
+	}
+	switch a.typ {
+	case Reduction:
+		newGroup(Reduction, a, s.workers)
+		// Reductions execute eagerly into privatized storage; they never
+		// block the task, so they do not contribute to pending.
+	case Commutative:
+		newGroup(Commutative, a, s.workers)
+		a.node.pending.Add(1)
+	default:
+		if !a.weak {
+			a.node.pending.Add(1)
+		}
+	}
+}
+
+// drain delivers queued messages until the mailbox is empty, evaluating
+// each resulting transition (the while loop of paper Fig. 2).
+func (s *WaitFree) drain(mb *mailbox, worker int) {
+	for {
+		m, ok := mb.Pop()
+		if !ok {
+			return
+		}
+		before, after := m.To.state.Deliver(m.Bits)
+		s.evaluate(m.To, before, after, mb, worker)
+	}
+}
+
+// evaluate inspects the flag transition produced by one delivery and
+// pushes the follow-up messages it triggers. Each condition below is a
+// conjunction of set-once flags, so asm.Transitioned guarantees the
+// corresponding action fires exactly once per access regardless of which
+// thread's delivery completed it.
+func (s *WaitFree) evaluate(a *Access, before, after asm.Flags, mb *mailbox, worker int) {
+	if before == after {
+		return // redundant delivery
+	}
+
+	if a.group != nil {
+		// Run member: satisfiability is managed by the group.
+		if a.groupHead && asm.Transitioned(before, after, flagReadSat|flagWriteSat) {
+			a.group.satArrived(mb)
+		}
+		if a.typ == Commutative && asm.Transitioned(before, after, flagReadSat|flagWriteSat) {
+			a.node.satisfied(s.ready, worker)
+		}
+		if asm.Transitioned(before, after, flagFinished|flagChildrenDone) {
+			a.group.memberReleased(mb)
+			if a.parentAccess != nil {
+				s.childReleased(a.parentAccess, mb)
+			}
+		}
+		return
+	}
+
+	// Execution satisfaction: reads need read satisfiability, exclusive
+	// accesses need both. Weak accesses never gate execution.
+	if !a.weak {
+		if a.typ == Read {
+			if asm.Transitioned(before, after, flagReadSat) {
+				a.node.satisfied(s.ready, worker)
+			}
+		} else if asm.Transitioned(before, after, flagReadSat|flagWriteSat) {
+			a.node.satisfied(s.ready, worker)
+		}
+	}
+
+	// Early read forwarding: consecutive reads run concurrently, so read
+	// satisfiability flows to a read successor before this access ends.
+	if a.succReadCompat && asm.Transitioned(before, after, flagReadSat|flagHasSuccessor) {
+		mb.push(a.succ.Load(), flagReadSat)
+	}
+
+	// Child forwarding: accesses of child tasks inherit the
+	// satisfiability of the parent access they nest under.
+	if asm.Transitioned(before, after, flagReadSat|flagHasChild) {
+		mb.push(a.child.Load(), flagReadSat)
+	}
+	if asm.Transitioned(before, after, flagWriteSat|flagHasChild) {
+		mb.push(a.child.Load(), flagWriteSat)
+	}
+
+	// Release: satisfied + finished + children done. Forward full
+	// satisfiability to the successor and notify across nesting levels.
+	if asm.Transitioned(before, after, flagsReleased) {
+		if a.parentAccess != nil {
+			s.childReleased(a.parentAccess, mb)
+		}
+	}
+	if asm.Transitioned(before, after, flagsReleased|flagHasSuccessor) {
+		mb.push(a.succ.Load(), flagReadSat|flagWriteSat)
+	}
+}
+
+// childReleased drops one reference from pa's child guard; the final drop
+// delivers children-done, enabling pa's own release.
+func (s *WaitFree) childReleased(pa *Access, mb *mailbox) {
+	if pa.childGuard.Add(-1) == 0 {
+		mb.push(pa, flagChildrenDone)
+	}
+}
+
+var _ System = (*WaitFree)(nil)

@@ -1,0 +1,215 @@
+// Package harness regenerates the paper's evaluation (§6.2-6.4): the
+// efficiency-versus-granularity sweeps of Figures 4-9 and the traced
+// runs of Figures 10-11. For each benchmark the problem size is held
+// constant while the block size (task granularity) sweeps; performance
+// is work units per second and efficiency normalizes each cell by the
+// best performance observed across the benchmark's whole panel, exactly
+// the metric the paper adopts from Task Bench.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// Point is one measured cell of a sweep.
+type Point struct {
+	Block      int
+	Grain      float64 // work units per task (the paper's x axis)
+	Tasks      int
+	Seconds    float64
+	Perf       float64 // work units per second
+	Efficiency float64 // percent of the panel's peak performance
+}
+
+// Series is one plotted line: a runtime variant across the granularity
+// sweep.
+type Series struct {
+	Variant core.Variant
+	Label   string // figure legend name ("Nanos6", "GCC", ...)
+	Points  []Point
+}
+
+// Panel is one subplot: a benchmark on a machine, all series.
+type Panel struct {
+	Figure    string
+	Benchmark string
+	Machine   string
+	Workers   int
+	Series    []Series
+}
+
+// SweepConfig drives one panel measurement.
+type SweepConfig struct {
+	Figure    string
+	Benchmark string
+	Machine   platform.Machine
+	// WorkerLimit caps simulated cores (0 = full machine).
+	WorkerLimit int
+	Size        workloads.Size
+	Blocks      []int
+	Variants    []core.Variant
+	Labels      []string // optional legend names matching Variants
+	Repeats     int      // timing repetitions; best is kept
+	Verify      bool     // verify results after each measured run
+}
+
+// RunSweep measures one panel. Each variant gets a fresh runtime; each
+// (variant, block) cell is timed Repeats times keeping the best run, the
+// paper's standard practice for contended measurements.
+func RunSweep(cfg SweepConfig) (Panel, error) {
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	workers := cfg.Machine.Workers(cfg.WorkerLimit)
+	panel := Panel{
+		Figure:    cfg.Figure,
+		Benchmark: cfg.Benchmark,
+		Machine:   cfg.Machine.Name,
+		Workers:   workers,
+	}
+	for vi, v := range cfg.Variants {
+		label := string(v)
+		if vi < len(cfg.Labels) && cfg.Labels[vi] != "" {
+			label = cfg.Labels[vi]
+		}
+		rtCfg := core.ConfigFor(v, workers, cfg.Machine.NUMANodes)
+		rt := core.New(rtCfg)
+		s := Series{Variant: v, Label: label}
+		for _, block := range cfg.Blocks {
+			w, err := workloads.Build(cfg.Benchmark, cfg.Size, block)
+			if err != nil {
+				rt.Close()
+				return Panel{}, err
+			}
+			best := 0.0
+			var bestSec float64
+			for r := 0; r < cfg.Repeats; r++ {
+				w.Reset()
+				start := time.Now()
+				w.Run(rt)
+				sec := time.Since(start).Seconds()
+				if sec <= 0 {
+					sec = 1e-9
+				}
+				perf := w.TotalWork() / sec
+				if perf > best {
+					best = perf
+					bestSec = sec
+				}
+				if cfg.Verify {
+					if err := w.Verify(); err != nil {
+						rt.Close()
+						return Panel{}, fmt.Errorf("%s/%s block %d: %w",
+							cfg.Benchmark, v, block, err)
+					}
+				}
+			}
+			s.Points = append(s.Points, Point{
+				Block:   block,
+				Grain:   workloads.Grain(w),
+				Tasks:   w.Tasks(),
+				Seconds: bestSec,
+				Perf:    best,
+			})
+		}
+		rt.Close()
+		panel.Series = append(panel.Series, s)
+	}
+	panel.normalize()
+	return panel, nil
+}
+
+// normalize computes efficiencies against the panel-wide peak (§6.2:
+// "dividing the performance of a specific run by the peak performance
+// obtained across all executions").
+func (p *Panel) normalize() {
+	peak := 0.0
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if pt.Perf > peak {
+				peak = pt.Perf
+			}
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	for si := range p.Series {
+		for pi := range p.Series[si].Points {
+			pt := &p.Series[si].Points[pi]
+			pt.Efficiency = 100 * pt.Perf / peak
+		}
+	}
+}
+
+// Peak returns the panel's peak performance in work units per second.
+func (p *Panel) Peak() float64 {
+	peak := 0.0
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if pt.Perf > peak {
+				peak = pt.Perf
+			}
+		}
+	}
+	return peak
+}
+
+// SeriesByLabel returns the series with the given legend label.
+func (p *Panel) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range p.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// WriteRows emits the panel in the repository's standard tabular form,
+// one row per measured cell.
+func (p *Panel) WriteRows(w io.Writer) {
+	fmt.Fprintf(w, "# %s | %s on %s (%d workers)\n",
+		p.Figure, p.Benchmark, p.Machine, p.Workers)
+	fmt.Fprintf(w, "%-28s %10s %9s %10s %12s %10s\n",
+		"variant", "block", "tasks", "grain", "time(ms)", "eff(%)")
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			fmt.Fprintf(w, "%-28s %10d %9d %10.0f %12.3f %10.1f\n",
+				s.Label, pt.Block, pt.Tasks, pt.Grain, pt.Seconds*1e3, pt.Efficiency)
+		}
+	}
+}
+
+// AtFinestGrain returns a series' efficiency at its smallest block.
+func (s Series) AtFinestGrain() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	best := s.Points[0]
+	for _, pt := range s.Points {
+		if pt.Grain < best.Grain {
+			best = pt
+		}
+	}
+	return best.Efficiency
+}
+
+// AtCoarsestGrain returns a series' efficiency at its largest block.
+func (s Series) AtCoarsestGrain() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	best := s.Points[0]
+	for _, pt := range s.Points {
+		if pt.Grain > best.Grain {
+			best = pt
+		}
+	}
+	return best.Efficiency
+}

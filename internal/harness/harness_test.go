@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// tinyMachine keeps harness tests fast on small hosts.
+var tinyMachine = platform.Machine{Name: "test", Cores: 4, NUMANodes: 2}
+
+func TestRunSweepProducesNormalizedPanel(t *testing.T) {
+	panel, err := RunSweep(SweepConfig{
+		Figure:    "test",
+		Benchmark: "dotproduct",
+		Machine:   tinyMachine,
+		Size:      workloads.Size{N: 1 << 14},
+		Blocks:    []int{1 << 7, 1 << 10, 1 << 12},
+		Variants:  []core.Variant{core.VariantOptimized, core.VariantNoDTLock},
+		Repeats:   1,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Series) != 2 {
+		t.Fatalf("series = %d", len(panel.Series))
+	}
+	sawPeak := false
+	for _, s := range panel.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s: points = %d", s.Label, len(s.Points))
+		}
+		for _, pt := range s.Points {
+			if pt.Efficiency < 0 || pt.Efficiency > 100.0001 {
+				t.Fatalf("efficiency out of range: %v", pt.Efficiency)
+			}
+			if pt.Efficiency > 99.999 {
+				sawPeak = true
+			}
+			if pt.Perf <= 0 || pt.Grain <= 0 || pt.Tasks <= 0 {
+				t.Fatalf("bad point: %+v", pt)
+			}
+		}
+	}
+	if !sawPeak {
+		t.Fatal("no cell at 100% efficiency; normalization broken")
+	}
+}
+
+func TestSweepGrainIncreasesWithBlock(t *testing.T) {
+	panel, err := RunSweep(SweepConfig{
+		Figure: "test", Benchmark: "heat", Machine: tinyMachine,
+		Size: workloads.Size{N: 64, Steps: 2}, Blocks: []int{8, 16, 32},
+		Variants: []core.Variant{core.VariantOptimized},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := panel.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Grain <= pts[i-1].Grain {
+			t.Fatalf("grain not increasing: %+v", pts)
+		}
+	}
+}
+
+func TestWriteRowsFormat(t *testing.T) {
+	panel, err := RunSweep(SweepConfig{
+		Figure: "figX", Benchmark: "matmul", Machine: tinyMachine,
+		Size: workloads.Size{N: 48}, Blocks: []int{12, 24},
+		Variants: []core.Variant{core.VariantOptimized},
+		Labels:   []string{"Nanos6"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	panel.WriteRows(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "matmul") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Nanos6") {
+		t.Fatalf("label missing:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + cols + 2 rows
+		t.Fatalf("row count = %d:\n%s", lines, out)
+	}
+}
+
+func TestFigureDefinitionsComplete(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d, want 6 (figures 4..9)", len(figs))
+	}
+	sh := shapes(Quick)
+	shFull := shapes(Full)
+	for _, f := range figs {
+		if len(f.Benchmarks) < 3 {
+			t.Fatalf("%s: %d benchmarks", f.Name, len(f.Benchmarks))
+		}
+		if len(f.Labels) != len(f.Variants) {
+			t.Fatalf("%s: labels/variants mismatch", f.Name)
+		}
+		for _, b := range f.Benchmarks {
+			if _, ok := sh[b]; !ok {
+				t.Fatalf("%s: no quick shape for %s", f.Name, b)
+			}
+			if _, ok := shFull[b]; !ok {
+				t.Fatalf("%s: no full shape for %s", f.Name, b)
+			}
+			if _, ok := workloads.Registry[b]; !ok {
+				t.Fatalf("%s: unknown benchmark %s", f.Name, b)
+			}
+		}
+	}
+	if _, ok := FigureByName("figure4"); !ok {
+		t.Fatal("figure4 not found by name")
+	}
+	if _, ok := FigureByName("figureX"); ok {
+		t.Fatal("bogus figure found")
+	}
+}
+
+func TestRunTracedProducesServeEvents(t *testing.T) {
+	res, err := RunTraced("dtlock", core.SchedSyncDTLock, tinyMachine, 0,
+		workloads.Size{N: 1 << 12, Steps: 3}, 1<<7, core.NoiseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Totals().TaskCount == 0 {
+		t.Fatal("traced run recorded no tasks")
+	}
+	if !strings.Contains(res.Timeline, "|") {
+		t.Fatal("timeline missing")
+	}
+}
+
+func TestRunTracedNoise(t *testing.T) {
+	res, err := RunTraced("noise", core.SchedSyncDTLock, tinyMachine, 0,
+		workloads.Size{N: 1 << 12, Steps: 3}, 1<<7,
+		core.NoiseConfig{AfterServes: 1, Duration: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := res.Summary.Totals()
+	if tot.Serves > 0 && tot.Interrupts != 1 {
+		t.Fatalf("serves=%d interrupts=%d", tot.Serves, tot.Interrupts)
+	}
+}
+
+func TestSection34RunsAndIsPositive(t *testing.T) {
+	r := RunSection34(4, 2000)
+	if r.DTLockOpsPerSec <= 0 || r.PTLockOpsPerSec <= 0 || r.SerialAddsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", r)
+	}
+	if r.SchedulingSpeedup <= 0 || r.InsertionSpeedup <= 0 {
+		t.Fatalf("non-positive speedups: %+v", r)
+	}
+}
+
+func TestPlatformDescriptors(t *testing.T) {
+	if platform.IntelXeon.Cores != 48 || platform.AMDRome.Cores != 128 ||
+		platform.Graviton2.Cores != 64 {
+		t.Fatal("paper core counts wrong")
+	}
+	if platform.AMDRome.Workers(16) != 16 {
+		t.Fatal("worker cap not applied")
+	}
+	if platform.Graviton2.Workers(0) != 64 {
+		t.Fatal("uncapped workers wrong")
+	}
+	if _, ok := platform.ByName("AMD Rome"); !ok {
+		t.Fatal("ByName failed")
+	}
+	if platform.DefaultLimit() < 1 {
+		t.Fatal("bad default limit")
+	}
+}

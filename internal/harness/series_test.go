@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func TestSeriesGrainExtremes(t *testing.T) {
+	s := Series{Points: []Point{
+		{Grain: 100, Efficiency: 40},
+		{Grain: 10, Efficiency: 15},
+		{Grain: 1000, Efficiency: 95},
+	}}
+	if got := s.AtFinestGrain(); got != 15 {
+		t.Fatalf("AtFinestGrain = %v, want 15", got)
+	}
+	if got := s.AtCoarsestGrain(); got != 95 {
+		t.Fatalf("AtCoarsestGrain = %v, want 95", got)
+	}
+	var empty Series
+	if empty.AtFinestGrain() != 0 || empty.AtCoarsestGrain() != 0 {
+		t.Fatal("empty series must report 0")
+	}
+}
+
+func TestPanelPeakAndLookup(t *testing.T) {
+	p := Panel{Series: []Series{
+		{Label: "a", Points: []Point{{Perf: 10}, {Perf: 30}}},
+		{Label: "b", Points: []Point{{Perf: 20}}},
+	}}
+	if p.Peak() != 30 {
+		t.Fatalf("Peak = %v", p.Peak())
+	}
+	if _, ok := p.SeriesByLabel("b"); !ok {
+		t.Fatal("SeriesByLabel failed")
+	}
+	if _, ok := p.SeriesByLabel("nope"); ok {
+		t.Fatal("bogus label found")
+	}
+	p.normalize()
+	if p.Series[0].Points[1].Efficiency != 100 {
+		t.Fatal("peak cell not normalized to 100")
+	}
+}
+
+func TestRunSweepRejectsUnknownBenchmark(t *testing.T) {
+	_, err := RunSweep(SweepConfig{
+		Benchmark: "not-a-benchmark",
+		Machine:   tinyMachine,
+		Blocks:    []int{8},
+		Variants:  []core.Variant{core.VariantOptimized},
+	})
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunSweepVerifyCatchesNothingOnGoodRun(t *testing.T) {
+	// -verify path on a correct workload must not error.
+	_, err := RunSweep(SweepConfig{
+		Figure: "t", Benchmark: "lulesh", Machine: tinyMachine,
+		Size:     workloads.Size{N: 1 << 10, Steps: 2},
+		Blocks:   []int{1 << 7},
+		Variants: []core.Variant{core.VariantOptimized},
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package locks
+
+import "sync/atomic"
+
+// DTLock is the Delegation Ticket Lock (paper §3.3, Listing 4). It
+// extends the Partitioned Ticket Lock with fine-grained, dynamic
+// delegation of operations: a thread calling LockOrDelegate either
+// acquires the lock or leaves a request that the current owner may fulfil
+// on its behalf, delivering the result directly to the waiting thread.
+//
+// Compared to classic delegation (ffwd-style) no dedicated server core is
+// required, and delegated operations combine freely with plain
+// Lock/Unlock/TryLock calls: if the owner releases the lock without
+// serving a pending request, the requesting thread simply acquires the
+// lock and performs the operation itself.
+//
+// Two arrays extend the PTLock. The log queue registers waiting threads:
+// the slot for ticket t holds t+id, so the owner recovers the waiter's id
+// by subtracting the ticket. The ready queue carries delegated results:
+// entry id holds the item and the ticket it answers, which doubles as the
+// "result is valid" mark because tickets are globally unique.
+//
+// At most Size() threads may use LockOrDelegate concurrently, and each
+// must pass a distinct id in [0, Size()).
+type DTLock[T any] struct {
+	*PTLock
+	logq  []paddedUint64
+	ready []readySlot[T]
+}
+
+// readySlot carries one delegated result, padded to avoid false sharing
+// between adjacent waiters' results.
+type readySlot[T any] struct {
+	ticket atomic.Uint64
+	item   T
+	_      [40]byte
+}
+
+// NewDTLock returns a Delegation Ticket Lock sized for `size` threads
+// with ids 0..size-1.
+func NewDTLock[T any](size int) *DTLock[T] {
+	return &DTLock[T]{
+		PTLock: NewPTLock(size),
+		logq:   make([]paddedUint64, size),
+		ready:  make([]readySlot[T], size),
+	}
+}
+
+// LockOrDelegate either acquires the lock (returns true) or blocks until
+// the owner delivers a delegated result into *item (returns false). The
+// id identifies the calling thread and indexes the ready queue.
+func (l *DTLock[T]) LockOrDelegate(id uint64, item *T) bool {
+	ticket := l.getTicket()
+	l.logq[ticket%l.size].v.Store(ticket + id)
+	l.waitTurn(ticket)
+	if l.ready[id].ticket.Load() == ticket {
+		// The previous owner answered this exact ticket via SetItem and
+		// released us through PopFront.
+		*item = l.ready[id].item
+		return false
+	}
+	return true
+}
+
+// Empty reports whether no thread is waiting to be served. Only the lock
+// owner may call it. The check is intrinsically racy (a waiter may
+// register immediately after) but harmless: a missed waiter is granted
+// the lock on Unlock and serves itself.
+func (l *DTLock[T]) Empty() bool {
+	t := l.tail.Load()
+	return l.logq[t%l.size].v.Load() < t
+}
+
+// Front returns the id of the first waiting thread. Only the lock owner
+// may call it, and only after Empty() returned false.
+func (l *DTLock[T]) Front() uint64 {
+	t := l.tail.Load()
+	return l.logq[t%l.size].v.Load() - t
+}
+
+// SetItem delivers a delegated result to the waiting thread id (which
+// must be the current Front()). The ticket written is the waiter's own
+// ticket, marking the entry valid exactly once.
+func (l *DTLock[T]) SetItem(id uint64, item T) {
+	l.ready[id].item = item
+	l.ready[id].ticket.Store(l.tail.Load())
+}
+
+// PopFront releases the first waiting thread, which will find its result
+// in the ready queue (after SetItem) or acquire the lock (without).
+// Only the lock owner may call it.
+func (l *DTLock[T]) PopFront() {
+	l.Unlock()
+}

@@ -1,0 +1,86 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDTLockServeStressBalance is the regression test for the unlock
+// ordering bug: PTLock.Unlock must advance tail before publishing the
+// grant, or a freshly admitted owner can observe the stale tail,
+// re-grant consumed tickets, serve its own log entry, and melt the
+// virtual queue. The invariant checked here held the bug red-handed:
+// every delegated return corresponds to exactly one PopFront, so the
+// two counters must match when the lock drains.
+func TestDTLockServeStressBalance(t *testing.T) {
+	const p = 8
+	d := 300 * time.Millisecond
+	if testing.Short() {
+		d = 50 * time.Millisecond
+	}
+	l := NewDTLock[int](p)
+	var stop atomic.Bool
+	var pops, delegs atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < p; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for !stop.Load() {
+				var v int
+				if l.LockOrDelegate(id, &v) {
+					for !l.Empty() {
+						w := l.Front()
+						if w >= uint64(p) {
+							stop.Store(true)
+							t.Errorf("corrupt Front: %d (queue melted)", w)
+							l.Unlock()
+							return
+						}
+						l.SetItem(w, int(l.tail.Load()))
+						l.PopFront()
+						pops.Add(1)
+					}
+					l.Unlock()
+				} else {
+					delegs.Add(1)
+					// The served item is the waiter's own ticket number;
+					// anything else is a cross-delivered result.
+					if v == 0 {
+						stop.Store(true)
+						t.Error("delegated result was never set")
+						return
+					}
+				}
+			}
+		}(uint64(g))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	if pops.Load() != delegs.Load() {
+		t.Fatalf("pops=%d delegs=%d: ghost serves (unlock ordering bug)",
+			pops.Load(), delegs.Load())
+	}
+}
+
+// TestPTLockUnlockOrderTailFirst pins the store order directly: after an
+// Unlock, the tail must already be advanced when the grant becomes
+// visible. A freshly admitted owner reads tail immediately; it must
+// never see the pre-release value.
+func TestPTLockUnlockOrderTailFirst(t *testing.T) {
+	l := NewPTLock(4)
+	for i := 0; i < 10000; i++ {
+		l.Lock()
+		// Simulate the admitted-owner read: inside the critical section
+		// tail must equal our ticket + 1.
+		g := l.tail.Load()
+		h := l.head.Load()
+		if g != h {
+			t.Fatalf("iteration %d: tail %d != head %d inside critical section", i, g, h)
+		}
+		l.Unlock()
+	}
+}

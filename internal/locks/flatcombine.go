@@ -1,0 +1,59 @@
+package locks
+
+// FlatCombiner implements the paper's stated future work (§8): extending
+// the Delegation Ticket Lock interface to support flat combining
+// (Hendler et al., SPAA'10). Threads publish operation requests and
+// either acquire the lock or have the current owner execute their
+// operation for them; the owner combines every pending request in one
+// critical section, so a single cache-hot thread applies a batch of
+// operations to the protected structure.
+//
+// Compared with the DTLock's item delegation (owner hands *results* to
+// waiters), flat combining delegates *operations*: the request array is
+// the DTLock's ready queue run in reverse.
+type FlatCombiner[Req, Resp any] struct {
+	lock *DTLock[Resp]
+	reqs []reqSlot[Req]
+}
+
+type reqSlot[Req any] struct {
+	v Req
+	_ [48]byte
+}
+
+// NewFlatCombiner returns a combiner for up to size threads with ids
+// 0..size-1.
+func NewFlatCombiner[Req, Resp any](size int) *FlatCombiner[Req, Resp] {
+	return &FlatCombiner[Req, Resp]{
+		lock: NewDTLock[Resp](size),
+		reqs: make([]reqSlot[Req], size),
+	}
+}
+
+// Do executes apply(req) under the combiner's mutual exclusion and
+// returns its response. The calling thread either becomes the combiner
+// (executing its own and every waiting thread's request) or has its
+// request executed by the current combiner. apply must only touch state
+// protected by this combiner.
+//
+// The request slot is published before the ticket is drawn inside
+// LockOrDelegate, and the owner only reads slot w after observing the
+// waiter's log entry, so the request is always visible to its executor.
+func (fc *FlatCombiner[Req, Resp]) Do(id uint64, req Req, apply func(Req) Resp) Resp {
+	fc.reqs[id].v = req
+	var resp Resp
+	if !fc.lock.LockOrDelegate(id, &resp) {
+		return resp // combined by the previous owner
+	}
+	resp = apply(req)
+	for !fc.lock.Empty() {
+		w := fc.lock.Front()
+		fc.lock.SetItem(w, apply(fc.reqs[w].v))
+		fc.lock.PopFront()
+	}
+	fc.lock.Unlock()
+	return resp
+}
+
+// Size returns the thread capacity.
+func (fc *FlatCombiner[Req, Resp]) Size() int { return len(fc.reqs) }

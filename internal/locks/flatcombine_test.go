@@ -1,0 +1,122 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFlatCombinerSerializesOperations(t *testing.T) {
+	// A shared non-atomic counter: every Do must apply exactly once
+	// under mutual exclusion.
+	const threads = 8
+	const iters = 400
+	fc := NewFlatCombiner[int, int](threads)
+	var counter int
+	var wg sync.WaitGroup
+	results := make([]int, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sum := 0
+			for i := 0; i < iters; i++ {
+				sum += fc.Do(uint64(id), 1, func(d int) int {
+					counter += d
+					return counter
+				})
+			}
+			results[id] = sum
+		}(g)
+	}
+	wg.Wait()
+	if counter != threads*iters {
+		t.Fatalf("counter = %d, want %d (lost operations)", counter, threads*iters)
+	}
+	// Every response was a distinct intermediate counter value, so the
+	// sum of all responses is the sum 1..threads*iters.
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	n := threads * iters
+	if total != n*(n+1)/2 {
+		t.Fatalf("response sum = %d, want %d (responses not linearizable)", total, n*(n+1)/2)
+	}
+}
+
+func TestFlatCombinerRequestValuesRouted(t *testing.T) {
+	// Each thread submits distinct request payloads; the response must
+	// correspond to its own request even when combined by another owner.
+	const threads = 6
+	fc := NewFlatCombiner[int, int](threads)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				want := id*1000 + i
+				got := fc.Do(uint64(id), want, func(r int) int { return r * 2 })
+				if got != want*2 {
+					t.Errorf("thread %d: Do(%d) = %d, want %d", id, want, got, want*2)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFlatCombinerSingleThread(t *testing.T) {
+	fc := NewFlatCombiner[string, int](2)
+	if fc.Size() != 2 {
+		t.Fatal("size wrong")
+	}
+	n := 0
+	for i := 0; i < 10; i++ {
+		n = fc.Do(0, "x", func(string) int { n++; return n })
+	}
+	if n != 10 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func BenchmarkFlatCombinerVsMutex(b *testing.B) {
+	const threads = 4
+	b.Run("flatcombiner", func(b *testing.B) {
+		fc := NewFlatCombiner[int, int](threads)
+		var counter int
+		var wg sync.WaitGroup
+		per := b.N / threads
+		b.ResetTimer()
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(id uint64) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					fc.Do(id, 1, func(d int) int { counter += d; return counter })
+				}
+			}(uint64(g))
+		}
+		wg.Wait()
+	})
+	b.Run("mutex", func(b *testing.B) {
+		var mu sync.Mutex
+		var counter int
+		var wg sync.WaitGroup
+		per := b.N / threads
+		b.ResetTimer()
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					mu.Lock()
+					counter++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}

@@ -1,0 +1,79 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchContended runs the classic increment-under-lock benchmark with a
+// fixed goroutine count, reporting per-op latency of the full
+// lock/increment/unlock cycle.
+func benchContended(b *testing.B, l Locker, goroutines int) {
+	var counter int64
+	var wg sync.WaitGroup
+	per := b.N / goroutines
+	if per == 0 {
+		per = 1
+	}
+	b.ResetTimer()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkTicketLockUncontended(b *testing.B) { benchContended(b, new(TicketLock), 1) }
+func BenchmarkTicketLockContended4(b *testing.B)  { benchContended(b, new(TicketLock), 4) }
+
+func BenchmarkPTLockUncontended(b *testing.B) { benchContended(b, NewPTLock(8), 1) }
+func BenchmarkPTLockContended4(b *testing.B)  { benchContended(b, NewPTLock(8), 4) }
+
+func BenchmarkTWALockUncontended(b *testing.B) { benchContended(b, NewTWALock(), 1) }
+func BenchmarkTWALockContended4(b *testing.B)  { benchContended(b, NewTWALock(), 4) }
+
+func BenchmarkMCSLockUncontended(b *testing.B) { benchContended(b, NewMCSLocker(), 1) }
+func BenchmarkMCSLockContended4(b *testing.B)  { benchContended(b, NewMCSLocker(), 4) }
+
+func BenchmarkDTLockPlainUncontended(b *testing.B) { benchContended(b, NewDTLock[int](8), 1) }
+func BenchmarkDTLockPlainContended4(b *testing.B)  { benchContended(b, NewDTLock[int](8), 4) }
+
+func BenchmarkMutexContended4(b *testing.B) { benchContended(b, &sync.Mutex{}, 4) }
+
+// BenchmarkDTLockDelegation measures the full delegation round trip:
+// waiters delegate, the owner serves.
+func BenchmarkDTLockDelegation(b *testing.B) {
+	const p = 4
+	l := NewDTLock[int](p)
+	var wg sync.WaitGroup
+	per := b.N / p
+	if per == 0 {
+		per = 1
+	}
+	b.ResetTimer()
+	for g := 0; g < p; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				var v int
+				if l.LockOrDelegate(id, &v) {
+					for !l.Empty() {
+						w := l.Front()
+						l.SetItem(w, 1)
+						l.PopFront()
+					}
+					l.Unlock()
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+package locks
+
+import "sync/atomic"
+
+// TicketLock is the classic fair FIFO ticket lock (Reed & Kanodia, 1979).
+// Every waiter spins on the single grant word, which is exactly the cache
+// coherence problem the Partitioned Ticket Lock solves: each release
+// invalidates the line in every waiting core. It is included both as a
+// baseline for the lock microbenchmarks (paper §3.2) and as the building
+// block for the TWA lock.
+type TicketLock struct {
+	next  atomic.Uint64
+	_     [56]byte // keep next and grant on distinct cache lines
+	grant atomic.Uint64
+	_     [56]byte
+}
+
+// Lock acquires the lock, spinning until this caller's ticket is granted.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	for i := 0; l.grant.Load() != t; i++ {
+		Spin(i)
+	}
+}
+
+// Unlock releases the lock, granting the next ticket.
+func (l *TicketLock) Unlock() {
+	l.grant.Store(l.grant.Load() + 1)
+}
+
+// TryLock acquires the lock only if it is free. It preserves fairness for
+// queued waiters: it succeeds only when no ticket is outstanding.
+func (l *TicketLock) TryLock() bool {
+	g := l.grant.Load()
+	return l.next.CompareAndSwap(g, g+1)
+}
+
+var (
+	_ Locker    = (*TicketLock)(nil)
+	_ TryLocker = (*TicketLock)(nil)
+)

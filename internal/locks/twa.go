@@ -1,0 +1,75 @@
+package locks
+
+import "sync/atomic"
+
+// TWALock is a Ticket Lock Augmented with a Waiting array (Dice & Kogan,
+// Euro-Par'19), included as the third point of comparison in the paper's
+// lock discussion (§3.2): it performs close to PTLock while using less
+// memory, because only long-term waiters are diverted to the shared
+// waiting array while the immediate successor spins on the grant word.
+type TWALock struct {
+	next  atomic.Uint64
+	_     [56]byte
+	grant atomic.Uint64
+	_     [56]byte
+	wa    []paddedUint64
+}
+
+// twaSlots is the size of the shared waiting array. Unlike the PTLock's
+// array it may be smaller than the thread count: collisions only cause
+// spurious wake-ups, never missed ones, because waiters always re-check
+// the grant word.
+const twaSlots = 64
+
+// NewTWALock returns a ready-to-use TWA lock.
+func NewTWALock() *TWALock {
+	return &TWALock{wa: make([]paddedUint64, twaSlots)}
+}
+
+// Lock acquires the lock in FIFO ticket order. Waiters at distance
+// greater than one from the grant spin on a hashed waiting-array slot and
+// migrate to the grant word when they become the immediate successor.
+func (l *TWALock) Lock() {
+	t := l.next.Add(1) - 1
+	slot := &l.wa[t%twaSlots].v
+	for i := 0; ; i++ {
+		g := l.grant.Load()
+		if g == t {
+			return
+		}
+		if t-g == 1 {
+			// Immediate successor: spin on the grant word.
+			for j := 0; l.grant.Load() != t; j++ {
+				Spin(j)
+			}
+			return
+		}
+		// Long-term waiter: park on the waiting array until it changes,
+		// then re-check the grant distance.
+		epoch := slot.Load()
+		for j := 0; slot.Load() == epoch && l.grant.Load() != t; j++ {
+			Spin(j)
+		}
+		_ = i
+	}
+}
+
+// Unlock grants the next ticket and pokes the waiting-array slot of the
+// ticket that just became the immediate successor, migrating it to the
+// grant word.
+func (l *TWALock) Unlock() {
+	g := l.grant.Load() + 1
+	l.grant.Store(g)
+	l.wa[(g+1)%twaSlots].v.Add(1)
+}
+
+// TryLock acquires the lock only if it is free.
+func (l *TWALock) TryLock() bool {
+	g := l.grant.Load()
+	return l.next.CompareAndSwap(g, g+1)
+}
+
+var (
+	_ Locker    = (*TWALock)(nil)
+	_ TryLocker = (*TWALock)(nil)
+)

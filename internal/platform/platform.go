@@ -1,0 +1,62 @@
+// Package platform describes the three HPC machines of the paper's
+// evaluation (§6.1) as simulated platform descriptors. The benchmarks
+// size their worker pools and NUMA-node queue counts from these; on
+// hosts with fewer physical cores the workers multiplex (with bounded
+// spin + yield), which preserves the contention structure — who fights
+// for which lock — even though absolute throughput differs. See
+// DESIGN.md's substitution table.
+package platform
+
+import "runtime"
+
+// Machine is one evaluation platform.
+type Machine struct {
+	// Name as used in the paper's figures.
+	Name string
+	// Cores is the hardware thread count used in the evaluation.
+	Cores int
+	// NUMANodes drives the number of SPSC insertion queues (§3.1: "one
+	// SPSC queue and lock per NUMA node").
+	NUMANodes int
+}
+
+// The paper's three platforms.
+var (
+	// IntelXeon: 2× Xeon Platinum 8160, 48 cores, 2 sockets.
+	IntelXeon = Machine{Name: "Intel Xeon", Cores: 48, NUMANodes: 2}
+	// AMDRome: 2× EPYC 7H12, 128 cores (256 HW threads), 8 NUMA nodes.
+	AMDRome = Machine{Name: "AMD Rome", Cores: 128, NUMANodes: 8}
+	// Graviton2: 64 Neoverse N1 cores, single NUMA domain.
+	Graviton2 = Machine{Name: "ARM Graviton2", Cores: 64, NUMANodes: 1}
+)
+
+// ByName returns a machine descriptor by paper name.
+func ByName(name string) (Machine, bool) {
+	for _, m := range []Machine{IntelXeon, AMDRome, Graviton2} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}
+
+// Workers returns the worker count to simulate this machine, capped at
+// limit when limit > 0. A limit of 4×NumCPU is a practical ceiling for
+// oversubscribed hosts; pass 0 to simulate the full machine.
+func (m Machine) Workers(limit int) int {
+	w := m.Cores
+	if limit > 0 && w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DefaultLimit is a reasonable worker cap for the current host: enough
+// oversubscription to exhibit contention, not enough to drown in
+// scheduling overhead.
+func DefaultLimit() int {
+	return 8 * runtime.NumCPU()
+}

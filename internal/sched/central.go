@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/locks"
+)
+
+// Central is the "w/o DTLock" ablation variant: a centralized scheduler
+// whose policy is protected by a plain Partitioned Ticket Lock. Both
+// insertion and retrieval take the same lock, so under fine-grained tasks
+// the creating core fights every idle worker for it — the behaviour the
+// Figure 10 PTLock trace exhibits.
+type Central[T comparable] struct {
+	mu    *locks.PTLock
+	inner Policy[T]
+}
+
+// NewCentral builds the PTLock-protected centralized scheduler.
+func NewCentral[T comparable](inner Policy[T], workers int) *Central[T] {
+	return &Central[T]{mu: locks.NewPTLock(workers + 1), inner: inner}
+}
+
+// Name implements Scheduler.
+func (s *Central[T]) Name() string { return "central-ptlock" }
+
+// Add implements Scheduler.
+func (s *Central[T]) Add(t T, worker int) {
+	s.mu.Lock()
+	s.inner.Push(t)
+	s.mu.Unlock()
+}
+
+// Get implements Scheduler.
+func (s *Central[T]) Get(worker int) T {
+	s.mu.Lock()
+	t, _ := s.inner.Pop(worker)
+	s.mu.Unlock()
+	return t
+}
+
+// TryGet implements Scheduler.
+func (s *Central[T]) TryGet(worker int) T { return s.Get(worker) }
+
+// Stop implements Scheduler.
+func (s *Central[T]) Stop() {}
+
+// Blocking is a GOMP-style central queue: a mutex-protected policy where
+// idle workers block on a condition variable after a short spin. Waking
+// sleepers charges the task creator with system calls, the cost the paper
+// calls out when arguing against the spin-then-block design (§3).
+type Blocking[T comparable] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inner   Policy[T]
+	stopped bool
+}
+
+// NewBlocking builds the mutex+condvar scheduler.
+func NewBlocking[T comparable](inner Policy[T]) *Blocking[T] {
+	s := &Blocking[T]{inner: inner}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Name implements Scheduler.
+func (s *Blocking[T]) Name() string { return "blocking-central" }
+
+// Add implements Scheduler.
+func (s *Blocking[T]) Add(t T, worker int) {
+	s.mu.Lock()
+	s.inner.Push(t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Get implements Scheduler. It blocks until a task arrives or Stop is
+// called; a short spin precedes the sleep to catch fast producers.
+func (s *Blocking[T]) Get(worker int) T {
+	var zero T
+	// Spin phase: cheap retries before paying for the sleep.
+	for i := 0; i < 64; i++ {
+		s.mu.Lock()
+		if t, ok := s.inner.Pop(worker); ok {
+			s.mu.Unlock()
+			return t
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return zero
+		}
+		s.mu.Unlock()
+		locks.Spin(i)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t, ok := s.inner.Pop(worker); ok {
+			return t
+		}
+		if s.stopped {
+			return zero
+		}
+		s.cond.Wait()
+	}
+}
+
+// TryGet implements Scheduler: a single non-blocking pop.
+func (s *Blocking[T]) TryGet(worker int) T {
+	s.mu.Lock()
+	t, _ := s.inner.Pop(worker)
+	s.mu.Unlock()
+	return t
+}
+
+// Stop wakes every blocked worker; subsequent Gets on an empty queue
+// return the zero value.
+func (s *Blocking[T]) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+var (
+	_ Scheduler[*int] = (*Central[*int])(nil)
+	_ Scheduler[*int] = (*Blocking[*int])(nil)
+)

@@ -1,0 +1,95 @@
+package sched
+
+// LocalityAware is an optional Policy extension: the synchronized
+// scheduler's drain loop knows which NUMA node's insertion queue each
+// task came from and passes it along, letting the policy keep tasks on
+// the socket that produced them. This is exactly the kind of scheduling
+// policy the paper argues the centralized design makes easy to add
+// ("adding new scheduling policies should be easy", §3.2) compared to
+// reworking a hierarchy of work-stealing deques.
+type LocalityAware[T any] interface {
+	Policy[T]
+	// PushLocal inserts a task produced on the given NUMA node.
+	PushLocal(t T, node int)
+}
+
+// Locality is a NUMA-affine policy: one FIFO per node plus an overflow
+// queue. Workers prefer their own node's queue, then the overflow, then
+// other nodes in order — work conservation is preserved, affinity is
+// best-effort.
+type Locality[T any] struct {
+	queues   []*FIFO[T]
+	overflow *FIFO[T]
+	nodeOf   []int
+}
+
+// NewLocality builds a locality policy for workers+1 consumers spread
+// over nodes NUMA nodes (the same worker->node mapping the Sync
+// scheduler uses for its insertion queues).
+func NewLocality[T any](workers, nodes int) *Locality[T] {
+	if nodes < 1 {
+		nodes = 1
+	}
+	l := &Locality[T]{
+		queues:   make([]*FIFO[T], nodes),
+		overflow: NewFIFO[T](),
+		nodeOf:   make([]int, workers+1),
+	}
+	for i := range l.queues {
+		l.queues[i] = NewFIFO[T]()
+	}
+	for w := 0; w <= workers; w++ {
+		l.nodeOf[w] = w * nodes / (workers + 1)
+	}
+	return l
+}
+
+// Push implements Policy: tasks without locality information go to the
+// overflow queue, consumable by anyone.
+func (l *Locality[T]) Push(t T) { l.overflow.Push(t) }
+
+// PushLocal implements LocalityAware.
+func (l *Locality[T]) PushLocal(t T, node int) {
+	if node < 0 || node >= len(l.queues) {
+		l.overflow.Push(t)
+		return
+	}
+	l.queues[node].Push(t)
+}
+
+// Pop implements Policy: own node first, then overflow, then the other
+// nodes (nearest-index order as a proxy for socket distance).
+func (l *Locality[T]) Pop(worker int) (T, bool) {
+	home := 0
+	if worker >= 0 && worker < len(l.nodeOf) {
+		home = l.nodeOf[worker]
+	}
+	if t, ok := l.queues[home].Pop(worker); ok {
+		return t, true
+	}
+	if t, ok := l.overflow.Pop(worker); ok {
+		return t, true
+	}
+	for d := 1; d < len(l.queues); d++ {
+		for _, n := range []int{home + d, home - d} {
+			if n >= 0 && n < len(l.queues) {
+				if t, ok := l.queues[n].Pop(worker); ok {
+					return t, true
+				}
+			}
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Len implements Policy.
+func (l *Locality[T]) Len() int {
+	n := l.overflow.Len()
+	for _, q := range l.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+var _ LocalityAware[*int] = (*Locality[*int])(nil)

@@ -1,0 +1,66 @@
+package sched
+
+import "testing"
+
+func TestLocalityPrefersHomeNode(t *testing.T) {
+	// 4 workers over 2 nodes: workers 0,1 -> node 0; workers 2,3(,4) -> node 1.
+	l := NewLocality[*int](4, 2)
+	a, b := 1, 2
+	l.PushLocal(&a, 0)
+	l.PushLocal(&b, 1)
+	if got, _ := l.Pop(3); got != &b {
+		t.Fatalf("worker 3 popped %v, want its node-1 task", got)
+	}
+	if got, _ := l.Pop(0); got != &a {
+		t.Fatalf("worker 0 popped %v, want its node-0 task", got)
+	}
+}
+
+func TestLocalityStealsAcrossNodes(t *testing.T) {
+	l := NewLocality[*int](4, 2)
+	a := 1
+	l.PushLocal(&a, 0)
+	// Worker on node 1 must still find the node-0 task (work conservation).
+	if got, _ := l.Pop(3); got != &a {
+		t.Fatal("cross-node steal failed")
+	}
+	if _, ok := l.Pop(0); ok {
+		t.Fatal("popped a task twice")
+	}
+}
+
+func TestLocalityOverflowForUnhintedTasks(t *testing.T) {
+	l := NewLocality[*int](2, 2)
+	a, b := 1, 2
+	l.Push(&a)          // no hint
+	l.PushLocal(&b, 99) // invalid hint -> overflow
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if p, _ := l.Pop(0); p == nil {
+		t.Fatal("overflow task not delivered")
+	}
+	if p, _ := l.Pop(1); p == nil {
+		t.Fatal("second overflow task not delivered")
+	}
+}
+
+func TestSyncSchedulerUsesLocalityPolicy(t *testing.T) {
+	// End to end: tasks added via node-1 workers drain into node 1's
+	// locality queue and are preferred by node-1 consumers.
+	pol := NewLocality[*int](4, 2)
+	s := NewSync[*int](Policy[*int](pol), 4, 2, 64, Hooks{})
+	vals := make([]int, 4)
+	s.Add(&vals[0], 0) // node 0 producer
+	s.Add(&vals[1], 3) // node 1 producer
+	// Worker 3 (node 1) asks: the drain routes by insertion queue, so it
+	// should receive the node-1 task first.
+	got := s.Get(3)
+	if got != &vals[1] {
+		t.Fatalf("node-1 worker got %v, want node-1 task", got)
+	}
+	if s.Get(0) != &vals[0] {
+		t.Fatal("remaining task lost")
+	}
+	s.Stop()
+}

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTryGetNonBlocking(t *testing.T) {
+	for name, s := range allSchedulers(2) {
+		if got := s.TryGet(0); got != nil {
+			t.Fatalf("%s: TryGet on empty scheduler returned a task", name)
+		}
+		v := 7
+		s.Add(&v, 0)
+		if got := s.TryGet(0); got == nil || *got != 7 {
+			t.Fatalf("%s: TryGet missed the queued task", name)
+		}
+		s.Stop()
+	}
+}
+
+func TestSyncDrainHookCountsTasks(t *testing.T) {
+	var drained atomic.Int64
+	s := NewSync[*int](NewFIFO[*int](), 2, 1, 64, Hooks{
+		OnDrain: func(owner, n int) { drained.Add(int64(n)) },
+	})
+	vals := make([]int, 10)
+	for i := range vals {
+		s.Add(&vals[i], 0)
+	}
+	for i := 0; i < 10; i++ {
+		if s.Get(0) == nil {
+			t.Fatal("task lost")
+		}
+	}
+	if drained.Load() != 10 {
+		t.Fatalf("drain hook counted %d, want 10", drained.Load())
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	want := map[string]string{
+		"sync": "sync-dtlock", "central": "central-ptlock",
+		"blocking": "blocking-central", "worksteal": "work-stealing",
+	}
+	for key, s := range allSchedulers(1) {
+		if s.Name() != want[key] {
+			t.Fatalf("%s: Name() = %q", key, s.Name())
+		}
+		s.Stop()
+	}
+}
+
+func TestWorkStealingCompaction(t *testing.T) {
+	// Stealing from the head many times exercises the compaction path.
+	s := NewWorkStealing[*int](1)
+	vals := make([]int, 2000)
+	for i := range vals {
+		s.Add(&vals[i], 0)
+	}
+	for i := 0; i < 2000; i++ {
+		if s.Get(1) == nil { // worker 1 always steals from worker 0
+			t.Fatalf("steal %d failed", i)
+		}
+	}
+	if s.Get(1) != nil {
+		t.Fatal("extra task after drain")
+	}
+}
+
+func TestFIFOGrowPreservesOrderAcrossWrap(t *testing.T) {
+	q := NewFIFO[*int]()
+	backing := make([]int, 300)
+	// Interleave to move head off zero, then force growth.
+	for i := 0; i < 40; i++ {
+		backing[i] = i
+		q.Push(&backing[i])
+	}
+	for i := 0; i < 30; i++ {
+		q.Pop(0)
+	}
+	for i := 40; i < 300; i++ {
+		backing[i] = i
+		q.Push(&backing[i])
+	}
+	for want := 30; want < 300; want++ {
+		p, ok := q.Pop(0)
+		if !ok || *p != want {
+			t.Fatalf("got %v want %d", p, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"repro/internal/locks"
+	"repro/internal/spsc"
+)
+
+// Hooks lets the runtime observe scheduler-internal events for the
+// instrumentation backend (Figures 10-11: serve arrows, drain phases).
+type Hooks struct {
+	// OnServe fires when the lock owner hands a task to a waiting worker
+	// through the delegation path.
+	OnServe func(owner, served int)
+	// OnDrain fires after the owner moves n tasks from the SPSC buffer
+	// queues into the unsynchronized scheduler.
+	OnDrain func(owner, n int)
+}
+
+// addQueue is one producer-side buffer: a bounded wait-free SPSC queue
+// whose producer end is shared by the workers of one NUMA node under a
+// PTLock (paper §3.1: "we use one SPSC queue and lock per NUMA node").
+type addQueue[T comparable] struct {
+	mu *locks.PTLock
+	q  *spsc.Queue[T]
+	_  [48]byte
+}
+
+// Sync is the paper's synchronized scheduler (Listing 5). Ready tasks are
+// buffered into SPSC queues so insertion never contends with the workers
+// asking for tasks; whichever worker owns the Delegation Ticket Lock
+// drains the buffers into the actual scheduling policy and serves tasks
+// directly to the workers waiting on the lock.
+type Sync[T comparable] struct {
+	lock   *locks.DTLock[T]
+	inner  Policy[T]
+	local  LocalityAware[T] // inner, if it understands locality
+	queues []addQueue[T]
+	qOf    []int // worker -> add-queue index
+	hooks  Hooks
+}
+
+// NewSync builds a synchronized scheduler for `workers` worker threads
+// (+1 external submitter slot) spread over numaNodes add-queues of
+// spscCap entries each, wrapping the given policy.
+func NewSync[T comparable](inner Policy[T], workers, numaNodes, spscCap int, hooks Hooks) *Sync[T] {
+	if numaNodes < 1 {
+		numaNodes = 1
+	}
+	if spscCap < 2 {
+		spscCap = 256
+	}
+	s := &Sync[T]{
+		lock:   locks.NewDTLock[T](workers + 1),
+		inner:  inner,
+		queues: make([]addQueue[T], numaNodes),
+		qOf:    make([]int, workers+1),
+		hooks:  hooks,
+	}
+	for i := range s.queues {
+		s.queues[i] = addQueue[T]{mu: locks.NewPTLock(workers + 1), q: spsc.New[T](spscCap)}
+	}
+	for w := 0; w <= workers; w++ {
+		s.qOf[w] = w * numaNodes / (workers + 1)
+	}
+	s.local, _ = inner.(LocalityAware[T])
+	return s
+}
+
+// Name implements Scheduler.
+func (s *Sync[T]) Name() string { return "sync-dtlock" }
+
+// Add inserts a ready task (Listing 5 addReadyTask): push into the local
+// NUMA node's SPSC buffer; if it is full, opportunistically become the
+// scheduler owner to drain it, then retry.
+func (s *Sync[T]) Add(t T, worker int) {
+	aq := &s.queues[s.qOf[worker]]
+	for i := 0; ; i++ {
+		aq.mu.Lock()
+		ok := aq.q.Push(t)
+		aq.mu.Unlock()
+		if ok {
+			return
+		}
+		if s.lock.TryLock() {
+			s.processReadyTasks(worker)
+			s.lock.Unlock()
+		}
+		locks.Spin(i)
+	}
+}
+
+// processReadyTasks drains every SPSC buffer into the unsynchronized
+// policy. Only the DTLock owner may call it (single consumer).
+func (s *Sync[T]) processReadyTasks(owner int) {
+	n := 0
+	for i := range s.queues {
+		if s.local != nil {
+			node := i
+			n += s.queues[i].q.ConsumeAll(func(t T) { s.local.PushLocal(t, node) })
+		} else {
+			n += s.queues[i].q.ConsumeAll(s.inner.Push)
+		}
+	}
+	if n > 0 && s.hooks.OnDrain != nil {
+		s.hooks.OnDrain(owner, n)
+	}
+}
+
+// Get returns a ready task or the zero value (Listing 5 getReadyTask).
+// If another worker owns the DTLock the call delegates: the owner either
+// serves this worker a task directly or releases the lock, in which case
+// the worker acquires it and serves itself (and the others).
+func (s *Sync[T]) Get(worker int) T {
+	var task T
+	if !s.lock.LockOrDelegate(uint64(worker), &task) {
+		return task // served by the previous owner
+	}
+	s.processReadyTasks(worker)
+	for !s.lock.Empty() {
+		waiting := s.lock.Front()
+		t, ok := s.inner.Pop(int(waiting))
+		if !ok {
+			break
+		}
+		s.lock.SetItem(waiting, t)
+		s.lock.PopFront()
+		if s.hooks.OnServe != nil {
+			s.hooks.OnServe(worker, int(waiting))
+		}
+	}
+	task, _ = s.inner.Pop(worker)
+	s.lock.Unlock()
+	return task
+}
+
+// TryGet implements Scheduler; Get already returns without waiting for
+// tasks (delegated waits are bounded by the lock hand-off).
+func (s *Sync[T]) TryGet(worker int) T { return s.Get(worker) }
+
+// Stop implements Scheduler; the Sync scheduler's Get never blocks, so
+// nothing needs waking.
+func (s *Sync[T]) Stop() {}
+
+var _ Scheduler[*int] = (*Sync[*int])(nil)

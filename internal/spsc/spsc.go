@@ -1,0 +1,102 @@
+// Package spsc provides the bounded wait-free single-producer
+// single-consumer queue used by the synchronized scheduler to decouple
+// task insertion from scheduling (paper §3.1). Ready tasks are buffered
+// here by creator threads and drained in batch by whichever worker owns
+// the scheduler lock, so contention among consumers never slows down the
+// producing core.
+//
+// The implementation is a classic power-of-two ring with cached
+// positions: the producer caches the consumer index and refreshes it only
+// when the ring looks full (and symmetrically for the consumer), so in
+// steady state each side touches a single shared cache line per batch
+// instead of per element.
+package spsc
+
+import "sync/atomic"
+
+// Queue is a bounded wait-free SPSC ring buffer. Exactly one goroutine
+// may call Push and exactly one may call Pop/ConsumeAll; the two sides
+// may run concurrently. The zero value is not usable; use New.
+type Queue[T any] struct {
+	head     atomic.Uint64 // next slot to pop; owned by consumer
+	_        [56]byte
+	tail     atomic.Uint64 // next slot to push; owned by producer
+	_        [56]byte
+	headMemo uint64 // producer's cached view of head
+	_        [56]byte
+	tailMemo uint64 // consumer's cached view of tail
+	_        [56]byte
+	mask     uint64
+	buf      []T
+}
+
+// New returns a queue with capacity for at least size elements (rounded
+// up to a power of two, minimum 2).
+func New[T any](size int) *Queue[T] {
+	n := 2
+	for n < size {
+		n <<= 1
+	}
+	return &Queue[T]{mask: uint64(n - 1), buf: make([]T, n)}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Push appends v and reports whether there was room. Producer-side only.
+func (q *Queue[T]) Push(v T) bool {
+	t := q.tail.Load()
+	if t-q.headMemo > q.mask {
+		// Ring looks full under the cached view; refresh it.
+		q.headMemo = q.head.Load()
+		if t-q.headMemo > q.mask {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Pop removes and returns the oldest element. Consumer-side only.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.tailMemo {
+		q.tailMemo = q.tail.Load()
+		if h == q.tailMemo {
+			return zero, false
+		}
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero // release the reference for the GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// ConsumeAll pops every element currently visible and passes each to fn,
+// returning the number consumed. Consumer-side only. Elements pushed
+// concurrently with the call may or may not be consumed.
+func (q *Queue[T]) ConsumeAll(fn func(T)) int {
+	var zero T
+	h := q.head.Load()
+	t := q.tail.Load()
+	n := 0
+	for ; h != t; h++ {
+		v := q.buf[h&q.mask]
+		q.buf[h&q.mask] = zero
+		q.head.Store(h + 1)
+		fn(v)
+		n++
+	}
+	return n
+}
+
+// Len returns a racy snapshot of the number of queued elements; it is
+// exact only when producer and consumer are quiescent.
+func (q *Queue[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Empty reports whether the queue appears empty (racy snapshot).
+func (q *Queue[T]) Empty() bool { return q.Len() <= 0 }

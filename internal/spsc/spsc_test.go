@@ -1,0 +1,194 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopSequential(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed with room available", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop() = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+}
+
+func TestBoundedCapacity(t *testing.T) {
+	q := New[int](4)
+	n := 0
+	for q.Push(n) {
+		n++
+		if n > q.Cap() {
+			t.Fatal("pushed more elements than capacity")
+		}
+	}
+	if n != q.Cap() {
+		t.Fatalf("accepted %d elements, capacity %d", n, q.Cap())
+	}
+	// Drain one; exactly one more push must fit.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("Pop failed on full queue")
+	}
+	if !q.Push(99) {
+		t.Fatal("Push failed after Pop made room")
+	}
+	if q.Push(100) {
+		t.Fatal("Push succeeded past capacity")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128},
+	} {
+		if got := New[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestConcurrentFIFO(t *testing.T) {
+	// A single producer pushes a strictly increasing sequence while a
+	// single consumer pops; the consumer must observe the exact sequence.
+	q := New[int](64)
+	const total = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if q.Push(i) {
+				i++
+			}
+		}
+	}()
+	next := 0
+	for next < total {
+		if v, ok := q.Pop(); ok {
+			if v != next {
+				t.Errorf("out of order: got %d want %d", v, next)
+				break
+			}
+			next++
+		}
+	}
+	wg.Wait()
+}
+
+func TestConsumeAllBatches(t *testing.T) {
+	q := New[int](128)
+	const total = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if q.Push(i) {
+				i++
+			}
+		}
+	}()
+	next := 0
+	for next < total {
+		q.ConsumeAll(func(v int) {
+			if v != next {
+				t.Errorf("out of order: got %d want %d", v, next)
+			}
+			next++
+		})
+	}
+	wg.Wait()
+	if n := q.ConsumeAll(func(int) {}); n != 0 {
+		t.Fatalf("queue not drained: %d left", n)
+	}
+}
+
+func TestPointerReleaseOnPop(t *testing.T) {
+	// Popped slots must drop their reference so the GC can reclaim items.
+	q := New[*int](4)
+	v := new(int)
+	q.Push(v)
+	q.Pop()
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatal("popped slot still holds a reference")
+		}
+	}
+}
+
+func TestQuickFIFOProperty(t *testing.T) {
+	// Property: for any interleaving of pushes (values 0..n-1) and pops,
+	// the popped sequence is a prefix-respecting FIFO of the pushed one.
+	f := func(sizes []uint8) bool {
+		q := New[int](8)
+		pushed, popped := 0, 0
+		for _, s := range sizes {
+			k := int(s % 8)
+			for i := 0; i < k; i++ {
+				if q.Push(pushed) {
+					pushed++
+				}
+			}
+			for i := 0; i < k/2; i++ {
+				if v, ok := q.Pop(); ok {
+					if v != popped {
+						return false
+					}
+					popped++
+				}
+			}
+		}
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if v != popped {
+				return false
+			}
+			popped++
+		}
+		return pushed == popped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPopSequential(b *testing.B) {
+	q := New[int](1024)
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkPushPopPipelined(b *testing.B) {
+	q := New[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; {
+			if q.Push(i) {
+				i++
+			}
+		}
+	}()
+	for n := 0; n < b.N; {
+		if _, ok := q.Pop(); ok {
+			n++
+		}
+	}
+	<-done
+}

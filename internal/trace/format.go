@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary stream format, CTF-inspired: a fixed header followed by one
+// stream per core, each a count-prefixed sequence of fixed-size records.
+// All integers are little-endian.
+//
+//	header : magic "NTF1" | uint32 coreCount
+//	stream : uint32 eventCount | eventCount * record
+//	record : int64 ts | uint64 arg | int32 worker | uint8 kind | 3 pad
+const magic = "NTF1"
+
+const recordSize = 8 + 8 + 4 + 1 + 3
+
+// Write serializes the trace.
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(tr.PerCore))); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, evs := range tr.PerCore {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(evs))); err != nil {
+			return err
+		}
+		for _, e := range evs {
+			binary.LittleEndian.PutUint64(rec[0:], uint64(e.TS))
+			binary.LittleEndian.PutUint64(rec[8:], e.Arg)
+			binary.LittleEndian.PutUint32(rec[16:], uint32(e.Worker))
+			rec[20] = byte(e.Kind)
+			rec[21], rec[22], rec[23] = 0, 0, 0
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously serialized with Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(hdr[:]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	var cores uint32
+	if err := binary.Read(br, binary.LittleEndian, &cores); err != nil {
+		return nil, err
+	}
+	if cores > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible core count %d", cores)
+	}
+	tr := &Trace{PerCore: make([][]Event, cores)}
+	var rec [recordSize]byte
+	for c := range tr.PerCore {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		evs := make([]Event, n)
+		for i := range evs {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: core %d event %d: %w", c, i, err)
+			}
+			evs[i] = Event{
+				TS:     int64(binary.LittleEndian.Uint64(rec[0:])),
+				Arg:    binary.LittleEndian.Uint64(rec[8:]),
+				Worker: int32(binary.LittleEndian.Uint32(rec[16:])),
+				Kind:   Kind(rec[20]),
+			}
+			if evs[i].Kind == 0 || evs[i].Kind >= kindMax {
+				return nil, fmt.Errorf("trace: invalid kind %d", rec[20])
+			}
+		}
+		tr.PerCore[c] = evs
+	}
+	return tr, nil
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, KTaskStart, 0) // must not panic
+	tr.EmitTS(0, KTaskEnd, 0, 5)
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now() != 0")
+	}
+}
+
+func TestEmitAndSnapshot(t *testing.T) {
+	tr := New(2, 16)
+	tr.Emit(0, KTaskStart, 1)
+	tr.Emit(0, KTaskEnd, 1)
+	tr.Emit(1, KServe, 0)
+	snap := tr.Snapshot()
+	if len(snap.PerCore) != 3 {
+		t.Fatalf("PerCore = %d, want 3 (workers+1)", len(snap.PerCore))
+	}
+	if len(snap.PerCore[0]) != 2 || len(snap.PerCore[1]) != 1 {
+		t.Fatalf("event counts wrong: %d %d", len(snap.PerCore[0]), len(snap.PerCore[1]))
+	}
+	if snap.PerCore[0][0].Kind != KTaskStart {
+		t.Fatal("first event kind wrong")
+	}
+}
+
+func TestCapacityDrops(t *testing.T) {
+	tr := New(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, KTaskCreate, uint64(i))
+	}
+	if got := len(tr.Snapshot().PerCore[0]); got != 4 {
+		t.Fatalf("kept %d events, want 4", got)
+	}
+	if tr.Drops() != 6 {
+		t.Fatalf("drops = %d, want 6", tr.Drops())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := New(3, 64)
+	tr.EmitTS(0, KTaskStart, 7, 100)
+	tr.EmitTS(0, KTaskEnd, 7, 200)
+	tr.EmitTS(2, KInterrupt, 5000, 150)
+	snap := tr.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PerCore) != len(snap.PerCore) {
+		t.Fatal("core count changed in round trip")
+	}
+	for c := range snap.PerCore {
+		if len(back.PerCore[c]) != len(snap.PerCore[c]) {
+			t.Fatalf("core %d count changed", c)
+		}
+		for i := range snap.PerCore[c] {
+			if back.PerCore[c][i] != snap.PerCore[c][i] {
+				t.Fatalf("core %d event %d: %+v != %+v", c, i,
+					back.PerCore[c][i], snap.PerCore[c][i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX0000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestQuickRoundTripProperty(t *testing.T) {
+	f := func(tss []int64, kinds []uint8) bool {
+		tr := New(1, 1<<14)
+		n := len(tss)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		for i := 0; i < n; i++ {
+			k := Kind(kinds[i]%uint8(kindMax-1)) + 1
+			tr.EmitTS(0, k, uint64(i), tss[i])
+		}
+		snap := tr.Snapshot()
+		var buf bytes.Buffer
+		if snap.Write(&buf) != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for c := range snap.PerCore {
+			for i := range snap.PerCore[c] {
+				if back.PerCore[c][i] != snap.PerCore[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeBreakdown(t *testing.T) {
+	tr := New(2, 64)
+	// Worker 0: task from 0 to 1000, runtime 1000..1300, idle afterwards.
+	tr.EmitTS(0, KTaskStart, 0, 0)
+	tr.EmitTS(0, KTaskEnd, 0, 1000)
+	tr.EmitTS(0, KSchedEnter, 0, 1000)
+	tr.EmitTS(0, KSchedLeave, 0, 1300)
+	// Worker 1: serve + interrupt; spans set overall range to 2000.
+	tr.EmitTS(1, KServe, 0, 500)
+	tr.EmitTS(1, KInterrupt, 400, 1600)
+	tr.EmitTS(1, KSchedEnter, 0, 1900)
+	tr.EmitTS(1, KSchedLeave, 0, 2000)
+	s := Analyze(tr.Snapshot())
+	w0 := s.Workers[0]
+	if w0.TaskTime != 1000 || w0.RuntimeTime != 300 || w0.TaskCount != 1 {
+		t.Fatalf("worker0 breakdown: %+v", w0)
+	}
+	if w0.IdleTime != 2000-1300 {
+		t.Fatalf("worker0 idle = %d", w0.IdleTime)
+	}
+	w1 := s.Workers[1]
+	if w1.Serves != 1 || w1.Interrupts != 1 || w1.InterruptNS != 400 {
+		t.Fatalf("worker1 stats: %+v", w1)
+	}
+	if s.Workers[0].ServedTo != 1 {
+		t.Fatal("ServedTo not aggregated")
+	}
+	if s.Span != 2000 {
+		t.Fatalf("span = %d", s.Span)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tr := New(1, 64)
+	tr.EmitTS(0, KTaskStart, 0, 0)
+	tr.EmitTS(0, KTaskEnd, 0, 500)
+	tr.EmitTS(0, KInterrupt, 100, 800)
+	out := Timeline(tr.Snapshot(), 40)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "!") {
+		t.Fatalf("timeline missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows (worker 0 + external slot)
+		t.Fatalf("timeline rows = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestServeGaps(t *testing.T) {
+	tr := New(1, 64)
+	for _, ts := range []int64{100, 250, 400} {
+		tr.EmitTS(0, KServe, 1, ts)
+	}
+	gaps := ServeGaps(tr.Snapshot())
+	if len(gaps) != 2 || gaps[0] != 150 || gaps[1] != 150 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KTaskStart.String() != "task-start" {
+		t.Fatal("kind name wrong")
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Fatal("unknown kind not reported numerically")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(1, 8)
+	tr.Emit(0, KTaskCreate, 0)
+	tr.Reset()
+	if n := len(tr.Snapshot().PerCore[0]); n != 0 {
+		t.Fatalf("events after reset: %d", n)
+	}
+}

@@ -1,0 +1,215 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Cholesky is benchmark (8) of §6.1: a blocked Cholesky factorization of
+// a symmetric positive-definite matrix, the canonical data-flow showcase.
+// The four kernels (potrf, trsm, syrk, gemm) are chained purely by their
+// tile accesses, yielding the classic irregular task DAG.
+type Cholesky struct {
+	n, block int
+	nb       int
+	a        []float64 // factorized in place (lower triangle)
+	orig     []float64
+	ref      []float64
+}
+
+// NewCholesky builds an n×n factorization in block×block tiles.
+func NewCholesky(n, block int) *Cholesky {
+	if block < 1 {
+		block = 1
+	}
+	if block > n {
+		block = n
+	}
+	n = n / block * block
+	if n == 0 {
+		n = block
+	}
+	c := &Cholesky{n: n, block: block, nb: n / block,
+		a: make([]float64, n*n), orig: make([]float64, n*n), ref: make([]float64, n*n)}
+	c.Reset()
+	return c
+}
+
+// Name implements Workload.
+func (ch *Cholesky) Name() string { return "cholesky" }
+
+// Reset implements Workload: a symmetric diagonally dominant matrix is
+// positive definite.
+func (ch *Cholesky) Reset() {
+	n := ch.n
+	lcg(ch.a, 3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := 0.5 * (ch.a[i*n+j] + ch.a[j*n+i])
+			ch.a[i*n+j], ch.a[j*n+i] = v, v
+		}
+		ch.a[i*n+i] += float64(n)
+	}
+	copy(ch.orig, ch.a)
+}
+
+// The tile kernels operate on the lower triangle in place.
+
+// potrf: unblocked Cholesky of the diagonal tile (bk,bk).
+func (ch *Cholesky) potrf(bk int) {
+	n, b := ch.n, ch.block
+	base := bk * b
+	for j := 0; j < b; j++ {
+		d := ch.a[(base+j)*n+base+j]
+		for k := 0; k < j; k++ {
+			v := ch.a[(base+j)*n+base+k]
+			d -= v * v
+		}
+		d = math.Sqrt(d)
+		ch.a[(base+j)*n+base+j] = d
+		for i := j + 1; i < b; i++ {
+			s := ch.a[(base+i)*n+base+j]
+			for k := 0; k < j; k++ {
+				s -= ch.a[(base+i)*n+base+k] * ch.a[(base+j)*n+base+k]
+			}
+			ch.a[(base+i)*n+base+j] = s / d
+		}
+	}
+}
+
+// trsm: A[bi,bk] = A[bi,bk] · L[bk,bk]^-T (forward substitution).
+func (ch *Cholesky) trsm(bk, bi int) {
+	n, b := ch.n, ch.block
+	rb, cb := bi*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := ch.a[(rb+i)*n+cb+j]
+			for k := 0; k < j; k++ {
+				s -= ch.a[(rb+i)*n+cb+k] * ch.a[(cb+j)*n+cb+k]
+			}
+			ch.a[(rb+i)*n+cb+j] = s / ch.a[(cb+j)*n+cb+j]
+		}
+	}
+}
+
+// syrk: A[bi,bi] -= A[bi,bk] · A[bi,bk]^T (lower triangle only).
+func (ch *Cholesky) syrk(bk, bi int) {
+	n, b := ch.n, ch.block
+	rb, cb := bi*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			s := ch.a[(rb+i)*n+rb+j]
+			for k := 0; k < b; k++ {
+				s -= ch.a[(rb+i)*n+cb+k] * ch.a[(rb+j)*n+cb+k]
+			}
+			ch.a[(rb+i)*n+rb+j] = s
+		}
+	}
+}
+
+// gemm: A[bi,bj] -= A[bi,bk] · A[bj,bk]^T.
+func (ch *Cholesky) gemm(bk, bi, bj int) {
+	n, b := ch.n, ch.block
+	rb, jb, cb := bi*b, bj*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := ch.a[(rb+i)*n+jb+j]
+			for k := 0; k < b; k++ {
+				s -= ch.a[(rb+i)*n+cb+k] * ch.a[(jb+j)*n+cb+k]
+			}
+			ch.a[(rb+i)*n+jb+j] = s
+		}
+	}
+}
+
+// rep returns the dependency representative of tile (bi,bj).
+func (ch *Cholesky) rep(bi, bj int) *float64 {
+	return &ch.a[bi*ch.block*ch.n+bj*ch.block]
+}
+
+// Run implements Workload: the standard right-looking tiled algorithm.
+func (ch *Cholesky) Run(rt *core.Runtime) {
+	rt.Run(func(c *core.Ctx) {
+		for k := 0; k < ch.nb; k++ {
+			k := k
+			c.Spawn(func(*core.Ctx) { ch.potrf(k) }, core.InOut(ch.rep(k, k)))
+			for i := k + 1; i < ch.nb; i++ {
+				i := i
+				c.Spawn(func(*core.Ctx) { ch.trsm(k, i) },
+					core.In(ch.rep(k, k)), core.InOut(ch.rep(i, k)))
+			}
+			for i := k + 1; i < ch.nb; i++ {
+				i := i
+				for j := k + 1; j < i; j++ {
+					j := j
+					c.Spawn(func(*core.Ctx) { ch.gemm(k, i, j) },
+						core.In(ch.rep(i, k)), core.In(ch.rep(j, k)),
+						core.InOut(ch.rep(i, j)))
+				}
+				c.Spawn(func(*core.Ctx) { ch.syrk(k, i) },
+					core.In(ch.rep(i, k)), core.InOut(ch.rep(i, i)))
+			}
+		}
+		c.Taskwait()
+	})
+}
+
+// RunSerial implements Workload: same kernels, program order.
+func (ch *Cholesky) RunSerial() {
+	for k := 0; k < ch.nb; k++ {
+		ch.potrf(k)
+		for i := k + 1; i < ch.nb; i++ {
+			ch.trsm(k, i)
+		}
+		for i := k + 1; i < ch.nb; i++ {
+			for j := k + 1; j < i; j++ {
+				ch.gemm(k, i, j)
+			}
+			ch.syrk(k, i)
+		}
+	}
+}
+
+// Verify implements Workload: the parallel factor must match the serial
+// factor exactly, and L·Lᵀ must reconstruct the original matrix.
+func (ch *Cholesky) Verify() error {
+	got := append([]float64(nil), ch.a...)
+	ch.Reset()
+	ch.RunSerial()
+	n := ch.n
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if got[i*n+j] != ch.a[i*n+j] {
+				return fmt.Errorf("cholesky: L[%d,%d] = %v, serial %v",
+					i, j, got[i*n+j], ch.a[i*n+j])
+			}
+		}
+	}
+	// Spot-check the reconstruction on a diagonal stripe.
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 0; k <= i; k++ {
+			s += got[i*n+k] * got[i*n+k]
+		}
+		if !almostEqual(s, ch.orig[i*n+i], 1e-8) {
+			return fmt.Errorf("cholesky: (L·Lᵀ)[%d,%d] = %v, want %v",
+				i, i, s, ch.orig[i*n+i])
+		}
+	}
+	return nil
+}
+
+// TotalWork implements Workload (≈ n³/3 multiply-adds).
+func (ch *Cholesky) TotalWork() float64 {
+	nf := float64(ch.n)
+	return nf * nf * nf / 3
+}
+
+// Tasks implements Workload.
+func (ch *Cholesky) Tasks() int {
+	nb := ch.nb
+	// potrf: nb, trsm: nb(nb-1)/2, syrk: nb(nb-1)/2, gemm: ~nb³/6
+	return nb + nb*(nb-1) + nb*(nb-1)*(nb-2)/6
+}

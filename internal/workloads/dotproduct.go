@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DotProduct is benchmark (1) of §6.1: the dot product of two arrays,
+// blocked, with a task reduction aggregating the per-block partial sums.
+// It is the purest stress test of the reduction path of the dependency
+// system: every task shares the single reduction target.
+type DotProduct struct {
+	n, block int
+	x, y     []float64
+	result   float64
+	expect   float64
+}
+
+// NewDotProduct builds a dot product over n elements in blocks of block.
+func NewDotProduct(n, block int) *DotProduct {
+	if block < 1 {
+		block = 1
+	}
+	if block > n {
+		block = n
+	}
+	d := &DotProduct{n: n, block: block, x: make([]float64, n), y: make([]float64, n)}
+	d.Reset()
+	return d
+}
+
+// Name implements Workload.
+func (d *DotProduct) Name() string { return "dotproduct" }
+
+// Reset implements Workload. Integer-valued data keeps float64 sums
+// exact, so parallel and serial results compare bit-for-bit.
+func (d *DotProduct) Reset() {
+	for i := range d.x {
+		d.x[i] = float64(1 + i%7)
+		d.y[i] = float64(1 + i%5)
+	}
+	d.result = 0
+	d.expect = 0
+}
+
+// Run implements Workload.
+func (d *DotProduct) Run(rt *core.Runtime) {
+	d.result = 0
+	rt.Run(func(c *core.Ctx) {
+		for b := 0; b < d.n; b += d.block {
+			lo, hi := b, b+d.block
+			if hi > d.n {
+				hi = d.n
+			}
+			c.Spawn(func(cc *core.Ctx) {
+				acc := cc.ReductionBuffer(&d.result)
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += d.x[i] * d.y[i]
+				}
+				acc[0] += s
+			}, core.RedSpec(&d.result, 1, redSum))
+		}
+		c.Taskwait()
+	})
+}
+
+// RunSerial implements Workload.
+func (d *DotProduct) RunSerial() {
+	s := 0.0
+	for i := 0; i < d.n; i++ {
+		s += d.x[i] * d.y[i]
+	}
+	d.expect = s
+}
+
+// Verify implements Workload.
+func (d *DotProduct) Verify() error {
+	d.RunSerial()
+	if d.result != d.expect {
+		return fmt.Errorf("dotproduct: got %v want %v", d.result, d.expect)
+	}
+	return nil
+}
+
+// TotalWork implements Workload.
+func (d *DotProduct) TotalWork() float64 { return float64(d.n) }
+
+// Tasks implements Workload.
+func (d *DotProduct) Tasks() int { return (d.n + d.block - 1) / d.block }

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Heat is benchmark (2) of §6.1: an iterative Gauss-Seidel solver for
+// the heat equation on a 2-D grid, blocked, with one task per block per
+// time step and a task reduction computing the residual. Dependencies
+// express the classic wavefront: a block reads its left/top neighbours
+// from the current sweep and its right/bottom neighbours from the
+// previous one, which is exactly what address-based in/inout accesses in
+// registration order produce.
+type Heat struct {
+	n, block, steps int
+	nb              int // blocks per side
+	grid            []float64
+	ref             []float64
+	residual        float64
+	refResidual     float64
+}
+
+// NewHeat builds an n×n interior grid (plus boundary) in block×block
+// tiles over the given number of Gauss-Seidel sweeps.
+func NewHeat(n, block, steps int) *Heat {
+	if block < 1 {
+		block = 1
+	}
+	if block > n {
+		block = n
+	}
+	// Round n down to a multiple of block for clean tiling.
+	n = n / block * block
+	if n == 0 {
+		n = block
+	}
+	h := &Heat{n: n, block: block, steps: steps, nb: n / block,
+		grid: make([]float64, (n+2)*(n+2)), ref: make([]float64, (n+2)*(n+2))}
+	h.Reset()
+	return h
+}
+
+// Name implements Workload.
+func (h *Heat) Name() string { return "heat" }
+
+// Reset implements Workload: fixed hot top boundary, cold interior.
+func (h *Heat) Reset() {
+	for i := range h.grid {
+		h.grid[i] = 0
+	}
+	stride := h.n + 2
+	for j := 0; j < stride; j++ {
+		h.grid[j] = 100 // top boundary row
+	}
+	h.residual = 0
+	h.refResidual = 0
+}
+
+func (h *Heat) at(i, j int) *float64 { return &h.grid[i*(h.n+2)+j] }
+
+// sweepBlock performs the Gauss-Seidel update of one tile, returning the
+// accumulated local residual.
+func (h *Heat) sweepBlock(bi, bj int) float64 {
+	stride := h.n + 2
+	res := 0.0
+	for i := bi*h.block + 1; i <= (bi+1)*h.block; i++ {
+		row := i * stride
+		for j := bj*h.block + 1; j <= (bj+1)*h.block; j++ {
+			old := h.grid[row+j]
+			v := 0.25 * (h.grid[row+j-1] + h.grid[row+j+1] +
+				h.grid[row-stride+j] + h.grid[row+stride+j])
+			h.grid[row+j] = v
+			d := v - old
+			res += d * d
+		}
+	}
+	return res
+}
+
+// Run implements Workload. Block representatives (the first interior
+// element of each tile) carry the dependencies.
+func (h *Heat) Run(rt *core.Runtime) {
+	h.residual = 0
+	rt.Run(func(c *core.Ctx) {
+		for s := 0; s < h.steps; s++ {
+			last := s == h.steps-1
+			for bi := 0; bi < h.nb; bi++ {
+				for bj := 0; bj < h.nb; bj++ {
+					bi, bj := bi, bj
+					specs := make([]core.AccessSpec, 0, 6)
+					specs = append(specs, core.InOut(h.rep(bi, bj)))
+					if bi > 0 {
+						specs = append(specs, core.In(h.rep(bi-1, bj)))
+					}
+					if bj > 0 {
+						specs = append(specs, core.In(h.rep(bi, bj-1)))
+					}
+					if bi < h.nb-1 {
+						specs = append(specs, core.In(h.rep(bi+1, bj)))
+					}
+					if bj < h.nb-1 {
+						specs = append(specs, core.In(h.rep(bi, bj+1)))
+					}
+					if last {
+						specs = append(specs, core.RedSpec(&h.residual, 1, redSum))
+						c.Spawn(func(cc *core.Ctx) {
+							r := h.sweepBlock(bi, bj)
+							cc.ReductionBuffer(&h.residual)[0] += r
+						}, specs...)
+					} else {
+						c.Spawn(func(*core.Ctx) { h.sweepBlock(bi, bj) }, specs...)
+					}
+				}
+			}
+		}
+		c.Taskwait()
+	})
+}
+
+// rep returns the dependency representative of a tile.
+func (h *Heat) rep(bi, bj int) *float64 { return h.at(bi*h.block+1, bj*h.block+1) }
+
+// RunSerial implements Workload: the same blocked sweeps in registration
+// order, which the dependency graph linearizes identically.
+func (h *Heat) RunSerial() {
+	h.refResidual = 0
+	for s := 0; s < h.steps; s++ {
+		for bi := 0; bi < h.nb; bi++ {
+			for bj := 0; bj < h.nb; bj++ {
+				r := h.sweepBlock(bi, bj)
+				if s == h.steps-1 {
+					h.refResidual += r
+				}
+			}
+		}
+	}
+}
+
+// Verify implements Workload: the parallel grid must match the serial
+// one exactly (the dependency wavefront makes the computation
+// deterministic); the residual reduction may differ in summation order.
+func (h *Heat) Verify() error {
+	got := append([]float64(nil), h.grid...)
+	gotRes := h.residual
+	h.Reset()
+	h.RunSerial()
+	for i := range got {
+		if got[i] != h.grid[i] {
+			return fmt.Errorf("heat: grid[%d] = %v, serial %v", i, got[i], h.grid[i])
+		}
+	}
+	if !almostEqual(gotRes, h.refResidual, 1e-9) {
+		return fmt.Errorf("heat: residual %v, serial %v", gotRes, h.refResidual)
+	}
+	return nil
+}
+
+// TotalWork implements Workload.
+func (h *Heat) TotalWork() float64 { return float64(h.n) * float64(h.n) * float64(h.steps) }
+
+// Tasks implements Workload.
+func (h *Heat) Tasks() int { return h.nb * h.nb * h.steps }

@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// HPCCG is benchmark (3) of §6.1: a taskified conjugate-gradient solver
+// with several kernels combining task reductions (dot products) and
+// multi-dependencies (SpMV reads three vector blocks, scalar updates read
+// multiple reduction results). The matrix is the 1-D operator
+// tridiag(-1, 3, -1), diagonally dominant so CG converges quickly.
+type HPCCG struct {
+	n, block, iters int
+
+	b, x, r, p, ap []float64
+
+	// scalars are dependency objects chained between vector kernels.
+	rr, pap, rrNew, alpha, beta float64
+
+	refX []float64
+}
+
+// NewHPCCG builds a CG solve of n unknowns in blocks of block over the
+// given number of iterations.
+func NewHPCCG(n, block, iters int) *HPCCG {
+	if block < 1 {
+		block = 1
+	}
+	if block > n {
+		block = n
+	}
+	n = n / block * block
+	if n == 0 {
+		n = block
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	h := &HPCCG{n: n, block: block, iters: iters,
+		b: make([]float64, n), x: make([]float64, n), r: make([]float64, n),
+		p: make([]float64, n), ap: make([]float64, n), refX: make([]float64, n)}
+	h.Reset()
+	return h
+}
+
+// Name implements Workload.
+func (h *HPCCG) Name() string { return "hpccg" }
+
+// Reset implements Workload.
+func (h *HPCCG) Reset() {
+	lcg(h.b, 5)
+	for i := range h.x {
+		h.x[i] = 0
+		h.r[i] = h.b[i]
+		h.p[i] = h.b[i]
+		h.ap[i] = 0
+	}
+	h.rr, h.pap, h.rrNew, h.alpha, h.beta = 0, 0, 0, 0, 0
+}
+
+// spmvBlock computes ap[lo:hi] = (A·p)[lo:hi] for the tridiagonal A.
+func (h *HPCCG) spmvBlock(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := 3 * h.p[i]
+		if i > 0 {
+			v -= h.p[i-1]
+		}
+		if i < h.n-1 {
+			v -= h.p[i+1]
+		}
+		h.ap[i] = v
+	}
+}
+
+// Run implements Workload. Every kernel of the serial CG below appears
+// here as a set of blocked tasks chained purely through data accesses.
+func (h *HPCCG) Run(rt *core.Runtime) {
+	n, bs := h.n, h.block
+	rt.Run(func(c *core.Ctx) {
+		// rr = r·r
+		c.Spawn(func(*core.Ctx) { h.rr = 0 }, core.Out(&h.rr))
+		for lo := 0; lo < n; lo += bs {
+			lo, hi := lo, min(lo+bs, n)
+			c.Spawn(func(cc *core.Ctx) {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += h.r[i] * h.r[i]
+				}
+				cc.ReductionBuffer(&h.rr)[0] += s
+			}, core.In(&h.r[lo]), core.RedSpec(&h.rr, 1, redSum))
+		}
+
+		for it := 0; it < h.iters; it++ {
+			// ap = A·p (multi-dependency SpMV: reads three p blocks)
+			for lo := 0; lo < n; lo += bs {
+				lo, hi := lo, min(lo+bs, n)
+				specs := []core.AccessSpec{core.Out(&h.ap[lo]), core.In(&h.p[lo])}
+				if lo > 0 {
+					specs = append(specs, core.In(&h.p[lo-bs]))
+				}
+				if hi < n {
+					specs = append(specs, core.In(&h.p[hi]))
+				}
+				c.Spawn(func(*core.Ctx) { h.spmvBlock(lo, hi) }, specs...)
+			}
+			// pap = p·ap
+			c.Spawn(func(*core.Ctx) { h.pap = 0 }, core.Out(&h.pap))
+			for lo := 0; lo < n; lo += bs {
+				lo, hi := lo, min(lo+bs, n)
+				c.Spawn(func(cc *core.Ctx) {
+					s := 0.0
+					for i := lo; i < hi; i++ {
+						s += h.p[i] * h.ap[i]
+					}
+					cc.ReductionBuffer(&h.pap)[0] += s
+				}, core.In(&h.p[lo]), core.In(&h.ap[lo]), core.RedSpec(&h.pap, 1, redSum))
+			}
+			// alpha = rr/pap
+			c.Spawn(func(*core.Ctx) { h.alpha = h.rr / h.pap },
+				core.In(&h.rr), core.In(&h.pap), core.Out(&h.alpha))
+			// x += alpha·p ; r -= alpha·ap
+			for lo := 0; lo < n; lo += bs {
+				lo, hi := lo, min(lo+bs, n)
+				c.Spawn(func(*core.Ctx) {
+					for i := lo; i < hi; i++ {
+						h.x[i] += h.alpha * h.p[i]
+						h.r[i] -= h.alpha * h.ap[i]
+					}
+				}, core.In(&h.alpha), core.In(&h.p[lo]), core.In(&h.ap[lo]),
+					core.InOut(&h.x[lo]), core.InOut(&h.r[lo]))
+			}
+			// rrNew = r·r
+			c.Spawn(func(*core.Ctx) { h.rrNew = 0 }, core.Out(&h.rrNew))
+			for lo := 0; lo < n; lo += bs {
+				lo, hi := lo, min(lo+bs, n)
+				c.Spawn(func(cc *core.Ctx) {
+					s := 0.0
+					for i := lo; i < hi; i++ {
+						s += h.r[i] * h.r[i]
+					}
+					cc.ReductionBuffer(&h.rrNew)[0] += s
+				}, core.In(&h.r[lo]), core.RedSpec(&h.rrNew, 1, redSum))
+			}
+			// beta = rrNew/rr ; rr = rrNew
+			c.Spawn(func(*core.Ctx) { h.beta = h.rrNew / h.rr; h.rr = h.rrNew },
+				core.InOut(&h.rr), core.In(&h.rrNew), core.Out(&h.beta))
+			// p = r + beta·p
+			for lo := 0; lo < n; lo += bs {
+				lo, hi := lo, min(lo+bs, n)
+				c.Spawn(func(*core.Ctx) {
+					for i := lo; i < hi; i++ {
+						h.p[i] = h.r[i] + h.beta*h.p[i]
+					}
+				}, core.In(&h.beta), core.In(&h.r[lo]), core.InOut(&h.p[lo]))
+			}
+		}
+		c.Taskwait()
+	})
+}
+
+// RunSerial implements Workload: textbook CG with identical kernels.
+func (h *HPCCG) RunSerial() {
+	n := h.n
+	rr := 0.0
+	for i := 0; i < n; i++ {
+		rr += h.r[i] * h.r[i]
+	}
+	for it := 0; it < h.iters; it++ {
+		for lo := 0; lo < n; lo += h.block {
+			h.spmvBlock(lo, min(lo+h.block, n))
+		}
+		pap := 0.0
+		for i := 0; i < n; i++ {
+			pap += h.p[i] * h.ap[i]
+		}
+		alpha := rr / pap
+		for i := 0; i < n; i++ {
+			h.x[i] += alpha * h.p[i]
+			h.r[i] -= alpha * h.ap[i]
+		}
+		rrNew := 0.0
+		for i := 0; i < n; i++ {
+			rrNew += h.r[i] * h.r[i]
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for i := 0; i < n; i++ {
+			h.p[i] = h.r[i] + beta*h.p[i]
+		}
+	}
+	copy(h.refX, h.x)
+}
+
+// Verify implements Workload: reductions make the summation order
+// nondeterministic, so the solutions are compared within tolerance and
+// the true residual must have converged.
+func (h *HPCCG) Verify() error {
+	got := append([]float64(nil), h.x...)
+	h.Reset()
+	h.RunSerial()
+	for i := range got {
+		if !almostEqual(got[i], h.refX[i], 1e-6) {
+			return fmt.Errorf("hpccg: x[%d] = %v, serial %v", i, got[i], h.refX[i])
+		}
+	}
+	// True residual of the parallel solution.
+	var res, bn float64
+	for i := 0; i < h.n; i++ {
+		v := 3 * got[i]
+		if i > 0 {
+			v -= got[i-1]
+		}
+		if i < h.n-1 {
+			v -= got[i+1]
+		}
+		d := h.b[i] - v
+		res += d * d
+		bn += h.b[i] * h.b[i]
+	}
+	if h.iters >= 20 && math.Sqrt(res) > 1e-8*math.Sqrt(bn) {
+		return fmt.Errorf("hpccg: residual %g did not converge (||b||=%g)",
+			math.Sqrt(res), math.Sqrt(bn))
+	}
+	return nil
+}
+
+// TotalWork implements Workload (vector-element updates per iteration:
+// spmv + 2 dots + 2 axpy + p-update ≈ 6n).
+func (h *HPCCG) TotalWork() float64 {
+	return 6 * float64(h.n) * float64(h.iters)
+}
+
+// Tasks implements Workload.
+func (h *HPCCG) Tasks() int {
+	nb := (h.n + h.block - 1) / h.block
+	return 1 + nb + h.iters*(4*nb+nb+3)
+}

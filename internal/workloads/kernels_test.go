@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// Kernel-level unit tests: the numeric building blocks must be right
+// independently of the task graphs around them.
+
+func TestCholeskyKernelFactorizesKnownMatrix(t *testing.T) {
+	// A 2x2 blocked factorization of a hand-checkable SPD matrix:
+	// A = L·Lᵀ with L = [[2,0],[1,3]] gives A = [[4,2],[2,10]].
+	ch := NewCholesky(2, 1)
+	n := ch.n
+	ch.a[0*n+0], ch.a[0*n+1] = 4, 2
+	ch.a[1*n+0], ch.a[1*n+1] = 2, 10
+	ch.RunSerial()
+	want := [2][2]float64{{2, 0}, {1, 3}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(ch.a[i*n+j]-want[i][j]) > 1e-12 {
+				t.Fatalf("L[%d][%d] = %v, want %v", i, j, ch.a[i*n+j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestGemmTileMatchesDirectProduct(t *testing.T) {
+	const n, block = 8, 4
+	a := make([]float64, n*n)
+	bm := make([]float64, n*n)
+	c := make([]float64, n*n)
+	lcg(a, 1)
+	lcg(bm, 2)
+	for bi := 0; bi < n/block; bi++ {
+		for bj := 0; bj < n/block; bj++ {
+			for bk := 0; bk < n/block; bk++ {
+				gemmTile(a, bm, c, n, block, bi, bj, bk)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += a[i*n+k] * bm[k*n+j]
+			}
+			if math.Abs(c[i*n+j]-want) > 1e-9 {
+				t.Fatalf("C[%d][%d] = %v, want %v", i, j, c[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestHeatSweepConservesBoundaries(t *testing.T) {
+	h := NewHeat(16, 8, 1)
+	top := make([]float64, h.n+2)
+	stride := h.n + 2
+	copy(top, h.grid[:stride])
+	h.RunSerial()
+	for j := 0; j < stride; j++ {
+		if h.grid[j] != top[j] {
+			t.Fatal("boundary row modified by sweep")
+		}
+	}
+	// Heat must have diffused into the first interior row.
+	anyWarm := false
+	for j := 1; j <= h.n; j++ {
+		if h.grid[stride+j] > 0 {
+			anyWarm = true
+		}
+	}
+	if !anyWarm {
+		t.Fatal("no diffusion from hot boundary")
+	}
+}
+
+func TestHPCCGSpmvTridiagonal(t *testing.T) {
+	h := NewHPCCG(8, 4, 1)
+	for i := range h.p {
+		h.p[i] = 1
+	}
+	h.spmvBlock(0, h.n)
+	// Interior rows: 3-1-1 = 1; boundary rows: 3-1 = 2.
+	for i := 0; i < h.n; i++ {
+		want := 1.0
+		if i == 0 || i == h.n-1 {
+			want = 2.0
+		}
+		if h.ap[i] != want {
+			t.Fatalf("Ap[%d] = %v, want %v", i, h.ap[i], want)
+		}
+	}
+}
+
+func TestNBodyMomentumApproximatelyConserved(t *testing.T) {
+	// Pairwise forces are equal and opposite; after a serial step the
+	// total momentum change must be ~0 (softening keeps it inexact only
+	// at floating-point level).
+	w := NewNBody(64, 16, 1)
+	w.RunSerial()
+	var px, py, pz float64
+	for i := 0; i < w.n; i++ {
+		px += w.vel[3*i]
+		py += w.vel[3*i+1]
+		pz += w.vel[3*i+2]
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-12*float64(w.n) {
+		t.Fatalf("momentum drift: (%g, %g, %g)", px, py, pz)
+	}
+}
+
+func TestLuleshForceBalance(t *testing.T) {
+	// scatterForces writes -s and +s per element: the force sum over all
+	// nodes telescopes to elem[last]-elem[0] contributions at the ends.
+	l := NewLulesh(64, 16, 1)
+	for b := 0; b < l.nb; b++ {
+		l.scatterForces(b)
+	}
+	sum := 0.0
+	for _, f := range l.nodeF {
+		sum += f
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("force sum = %g, want 0 (telescoping)", sum)
+	}
+}
+
+func TestMiniAMRRefinementScheduleDeterministic(t *testing.T) {
+	m := NewMiniAMR(256, 64, 3)
+	a := m.refined(1, 2)
+	b := m.refined(1, 2)
+	if a != b {
+		t.Fatal("refinement schedule not deterministic")
+	}
+	// Roughly one third of blocks refine each step.
+	count := 0
+	for b := 0; b < 300; b++ {
+		if m.refined(0, b) {
+			count++
+		}
+	}
+	if count != 100 {
+		t.Fatalf("refined %d of 300, want 100", count)
+	}
+}
+
+func TestLCGDeterministicAndInRange(t *testing.T) {
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	lcg(a, 42)
+	lcg(b, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("lcg not deterministic")
+		}
+		if a[i] <= 0 || a[i] >= 1 {
+			t.Fatalf("lcg[%d] = %v out of (0,1)", i, a[i])
+		}
+	}
+	lcg(b, 43)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds produce the same stream")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !almostEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Fatal("tiny relative difference rejected")
+	}
+	if almostEqual(1.0, 1.1, 1e-9) {
+		t.Fatal("large difference accepted")
+	}
+	if !almostEqual(0, 0, 1e-9) {
+		t.Fatal("exact zero rejected")
+	}
+	if !almostEqual(-100, -100.0000000001, 1e-9) {
+		t.Fatal("negative magnitudes mishandled")
+	}
+}

@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Lulesh is benchmark (4) of §6.1: a proxy for the taskified LULESH 2.0
+// hydrodynamics mini-app. The staggered-grid structure is reproduced in
+// one dimension: element blocks scatter forces to their nodes (boundary
+// nodes shared with the neighbouring block are updated under commutative
+// accesses), node blocks integrate velocities, and element blocks update
+// their state from the surrounding nodal velocities — the
+// gather/scatter pattern that dominates LULESH's task graph.
+type Lulesh struct {
+	n, block, steps int
+	nb              int
+	elem            []float64 // n element states (stress-like)
+	nodeF           []float64 // n+1 nodal forces
+	nodeV           []float64 // n+1 nodal velocities
+	refElem         []float64
+	refV            []float64
+}
+
+// NewLulesh builds an n-element proxy in blocks of block elements.
+func NewLulesh(n, block, steps int) *Lulesh {
+	if block < 1 {
+		block = 1
+	}
+	if block > n {
+		block = n
+	}
+	n = n / block * block
+	if n == 0 {
+		n = block
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	l := &Lulesh{n: n, block: block, steps: steps, nb: n / block,
+		elem: make([]float64, n), nodeF: make([]float64, n+1),
+		nodeV:   make([]float64, n+1),
+		refElem: make([]float64, n), refV: make([]float64, n+1)}
+	l.Reset()
+	return l
+}
+
+// Name implements Workload.
+func (l *Lulesh) Name() string { return "lulesh" }
+
+// Reset implements Workload.
+func (l *Lulesh) Reset() {
+	lcg(l.elem, 17)
+	for i := range l.nodeF {
+		l.nodeF[i] = 0
+		l.nodeV[i] = 0
+	}
+}
+
+// scatterForces adds element stresses to the adjacent nodes of block b.
+func (l *Lulesh) scatterForces(b int) {
+	for e := b * l.block; e < (b+1)*l.block; e++ {
+		s := l.elem[e]
+		l.nodeF[e] -= s
+		l.nodeF[e+1] += s
+	}
+}
+
+// integrateNodes advances nodal velocities [lo,hi) and clears forces.
+func (l *Lulesh) integrateNodes(lo, hi int) {
+	const dt = 1e-3
+	for i := lo; i < hi; i++ {
+		l.nodeV[i] += dt * l.nodeF[i]
+		l.nodeF[i] = 0
+	}
+}
+
+// updateElems advances the element states of block b from the velocity
+// gradient across each element.
+func (l *Lulesh) updateElems(b int) {
+	const dt = 1e-3
+	for e := b * l.block; e < (b+1)*l.block; e++ {
+		l.elem[e] += dt * (l.nodeV[e+1] - l.nodeV[e])
+	}
+}
+
+func (l *Lulesh) elemRep(b int) *float64 { return &l.elem[b*l.block] }
+
+// nodeRep returns the representative of node block b; node block b holds
+// nodes [b*block, (b+1)*block), plus the final node owned by the last
+// block.
+func (l *Lulesh) nodeRep(b int) *float64 { return &l.nodeF[b*l.block] }
+
+// Run implements Workload.
+func (l *Lulesh) Run(rt *core.Runtime) {
+	rt.Run(func(c *core.Ctx) {
+		for s := 0; s < l.steps; s++ {
+			// Scatter: element block b touches node blocks b and b+1
+			// (the shared boundary node), so it takes two commutative
+			// accesses — the multi-token case of the commutative path.
+			for b := 0; b < l.nb; b++ {
+				b := b
+				specs := []core.AccessSpec{
+					core.In(l.elemRep(b)),
+					core.Commutative(l.nodeRep(b)),
+				}
+				if b < l.nb-1 {
+					specs = append(specs, core.Commutative(l.nodeRep(b+1)))
+				}
+				c.Spawn(func(*core.Ctx) { l.scatterForces(b) }, specs...)
+			}
+			// Node integration per node block.
+			for b := 0; b < l.nb; b++ {
+				b := b
+				lo, hi := b*l.block, (b+1)*l.block
+				if b == l.nb-1 {
+					hi = l.n + 1
+				}
+				c.Spawn(func(*core.Ctx) { l.integrateNodes(lo, hi) },
+					core.InOut(l.nodeRep(b)))
+			}
+			// Element update reads both surrounding node blocks.
+			for b := 0; b < l.nb; b++ {
+				b := b
+				specs := []core.AccessSpec{
+					core.InOut(l.elemRep(b)), core.In(l.nodeRep(b)),
+				}
+				if b < l.nb-1 {
+					specs = append(specs, core.In(l.nodeRep(b+1)))
+				}
+				c.Spawn(func(*core.Ctx) { l.updateElems(b) }, specs...)
+			}
+		}
+		c.Taskwait()
+	})
+}
+
+// RunSerial implements Workload.
+func (l *Lulesh) RunSerial() {
+	for s := 0; s < l.steps; s++ {
+		for b := 0; b < l.nb; b++ {
+			l.scatterForces(b)
+		}
+		for b := 0; b < l.nb; b++ {
+			lo, hi := b*l.block, (b+1)*l.block
+			if b == l.nb-1 {
+				hi = l.n + 1
+			}
+			l.integrateNodes(lo, hi)
+		}
+		for b := 0; b < l.nb; b++ {
+			l.updateElems(b)
+		}
+	}
+	copy(l.refElem, l.elem)
+	copy(l.refV, l.nodeV)
+}
+
+// Verify implements Workload. Each boundary node receives exactly two
+// contributions and two-operand floating-point addition is commutative,
+// so the comparison is exact despite the commutative scheduling.
+func (l *Lulesh) Verify() error {
+	gotE := append([]float64(nil), l.elem...)
+	gotV := append([]float64(nil), l.nodeV...)
+	l.Reset()
+	l.RunSerial()
+	for i := range gotE {
+		if gotE[i] != l.refElem[i] {
+			return fmt.Errorf("lulesh: elem[%d] = %v, serial %v", i, gotE[i], l.refElem[i])
+		}
+	}
+	for i := range gotV {
+		if gotV[i] != l.refV[i] {
+			return fmt.Errorf("lulesh: nodeV[%d] = %v, serial %v", i, gotV[i], l.refV[i])
+		}
+	}
+	return nil
+}
+
+// TotalWork implements Workload (element updates across the three
+// phases).
+func (l *Lulesh) TotalWork() float64 {
+	return 3 * float64(l.n) * float64(l.steps)
+}
+
+// Tasks implements Workload.
+func (l *Lulesh) Tasks() int { return 3 * l.nb * l.steps }

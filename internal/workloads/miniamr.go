@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MiniAMR is benchmark (5) of §6.1: a proxy for the taskified miniAMR
+// mini-app, mimicking the task patterns of adaptive mesh refinement. A
+// one-dimensional domain of blocks is advanced with a stencil; on a
+// deterministic schedule, blocks become "refined" and their update is
+// performed by nested child tasks on the block halves — exercising the
+// nesting-crossing dependency support (paper Fig. 1) that makes miniAMR
+// the paper's scheduler stress test.
+type MiniAMR struct {
+	n, block, steps int
+	nb              int
+	u, next         []float64
+	refU            []float64
+}
+
+// NewMiniAMR builds an n-cell domain in blocks of block cells over the
+// given number of steps.
+func NewMiniAMR(n, block, steps int) *MiniAMR {
+	if block < 2 {
+		block = 2
+	}
+	block = block / 2 * 2 // halves must be even
+	if block > n {
+		block = n
+	}
+	n = n / block * block
+	if n == 0 {
+		n = block
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	m := &MiniAMR{n: n, block: block, steps: steps, nb: n / block,
+		u: make([]float64, n), next: make([]float64, n), refU: make([]float64, n)}
+	m.Reset()
+	return m
+}
+
+// Name implements Workload.
+func (m *MiniAMR) Name() string { return "miniamr" }
+
+// Reset implements Workload.
+func (m *MiniAMR) Reset() {
+	lcg(m.u, 23)
+	for i := range m.next {
+		m.next[i] = 0
+	}
+}
+
+// refined reports whether block b is refined at step s (deterministic
+// refinement schedule mimicking AMR's changing block population).
+func (m *MiniAMR) refined(s, b int) bool { return (s+b)%3 == 0 }
+
+// halfRep returns the dependency representative of half h (0 or 1) of
+// block b. Every task on a block declares both halves, so nested child
+// tasks on a single half chain correctly under the parent's accesses.
+func (m *MiniAMR) halfRep(b, h int) *float64 {
+	return &m.u[b*m.block+h*m.block/2]
+}
+
+// updateRange advances cells [lo,hi) with a 3-point stencil, reading the
+// boundary values captured by the caller.
+func (m *MiniAMR) updateRange(lo, hi int, left, right float64) {
+	prev := left
+	for i := lo; i < hi; i++ {
+		cur := m.u[i]
+		nxt := right
+		if i+1 < hi {
+			nxt = m.u[i+1]
+		}
+		m.u[i] = 0.25*prev + 0.5*cur + 0.25*nxt
+		prev = cur
+	}
+}
+
+// blockBounds returns the cell range and captured boundary values of
+// block b (zero-flux domain boundaries).
+func (m *MiniAMR) blockBounds(b int) (lo, hi int, left, right float64) {
+	lo, hi = b*m.block, (b+1)*m.block
+	if lo > 0 {
+		left = m.u[lo-1]
+	} else {
+		left = m.u[lo]
+	}
+	if hi < m.n {
+		right = m.u[hi]
+	} else {
+		right = m.u[hi-1]
+	}
+	return lo, hi, left, right
+}
+
+// Run implements Workload.
+func (m *MiniAMR) Run(rt *core.Runtime) {
+	rt.Run(func(c *core.Ctx) {
+		for s := 0; s < m.steps; s++ {
+			for b := 0; b < m.nb; b++ {
+				s, b := s, b
+				specs := []core.AccessSpec{
+					core.InOut(m.halfRep(b, 0)), core.InOut(m.halfRep(b, 1)),
+				}
+				if b > 0 {
+					specs = append(specs, core.In(m.halfRep(b-1, 1)))
+				}
+				if b < m.nb-1 {
+					specs = append(specs, core.In(m.halfRep(b+1, 0)))
+				}
+				c.Spawn(func(cc *core.Ctx) {
+					lo, hi, left, right := m.blockBounds(b)
+					if !m.refined(s, b) {
+						m.updateRange(lo, hi, left, right)
+						return
+					}
+					// Refined block: the parent captures the half
+					// boundary and spawns one child task per half; the
+					// children nest under the parent's half accesses.
+					mid := (lo + hi) / 2
+					lb, rb := m.u[mid-1], m.u[mid]
+					cc.Spawn(func(*core.Ctx) { m.updateRange(lo, mid, left, rb) },
+						core.InOut(m.halfRep(b, 0)))
+					cc.Spawn(func(*core.Ctx) { m.updateRange(mid, hi, lb, right) },
+						core.InOut(m.halfRep(b, 1)))
+				}, specs...)
+			}
+		}
+		c.Taskwait()
+	})
+}
+
+// RunSerial implements Workload: the identical refinement schedule and
+// update order.
+func (m *MiniAMR) RunSerial() {
+	for s := 0; s < m.steps; s++ {
+		for b := 0; b < m.nb; b++ {
+			lo, hi, left, right := m.blockBounds(b)
+			if !m.refined(s, b) {
+				m.updateRange(lo, hi, left, right)
+				continue
+			}
+			mid := (lo + hi) / 2
+			lb, rb := m.u[mid-1], m.u[mid]
+			m.updateRange(lo, mid, left, rb)
+			m.updateRange(mid, hi, lb, right)
+		}
+	}
+	copy(m.refU, m.u)
+}
+
+// Verify implements Workload: fully deterministic, so exact.
+func (m *MiniAMR) Verify() error {
+	got := append([]float64(nil), m.u...)
+	m.Reset()
+	m.RunSerial()
+	for i := range got {
+		if got[i] != m.refU[i] {
+			return fmt.Errorf("miniamr: u[%d] = %v, serial %v", i, got[i], m.refU[i])
+		}
+	}
+	return nil
+}
+
+// TotalWork implements Workload.
+func (m *MiniAMR) TotalWork() float64 {
+	return float64(m.n) * float64(m.steps)
+}
+
+// Tasks implements Workload: one task per block per step plus two child
+// tasks per refined block (one third of blocks).
+func (m *MiniAMR) Tasks() int {
+	return m.steps*m.nb + 2*(m.steps*m.nb/3)
+}

@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// NBody is benchmark (7) of §6.1: a blocked all-pairs N-body step
+// mimicking dynamic particle simulations. One force task per block pair
+// accumulates into the target block's force array under a commutative
+// access (any order, never concurrently); one integration task per block
+// then advances the positions.
+type NBody struct {
+	n, block, steps int
+	nb              int
+	pos, vel, frc   []float64 // 3 components per particle
+	refPos          []float64
+}
+
+// NewNBody builds an n-particle simulation in blocks of block particles
+// over the given number of steps.
+func NewNBody(n, block, steps int) *NBody {
+	if block < 1 {
+		block = 1
+	}
+	if block > n {
+		block = n
+	}
+	n = n / block * block
+	if n == 0 {
+		n = block
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	w := &NBody{n: n, block: block, steps: steps, nb: n / block,
+		pos: make([]float64, 3*n), vel: make([]float64, 3*n),
+		frc: make([]float64, 3*n), refPos: make([]float64, 3*n)}
+	w.Reset()
+	return w
+}
+
+// Name implements Workload.
+func (w *NBody) Name() string { return "nbody" }
+
+// Reset implements Workload.
+func (w *NBody) Reset() {
+	lcg(w.pos, 11)
+	for i := range w.vel {
+		w.vel[i] = 0
+		w.frc[i] = 0
+	}
+}
+
+// forcePair accumulates the softened gravitational pull of block bj's
+// particles onto block bi's force array.
+func (w *NBody) forcePair(bi, bj int) {
+	const soft = 1e-3
+	b := w.block
+	for i := bi * b; i < (bi+1)*b; i++ {
+		xi, yi, zi := w.pos[3*i], w.pos[3*i+1], w.pos[3*i+2]
+		fx, fy, fz := 0.0, 0.0, 0.0
+		for j := bj * b; j < (bj+1)*b; j++ {
+			if i == j {
+				continue
+			}
+			dx := w.pos[3*j] - xi
+			dy := w.pos[3*j+1] - yi
+			dz := w.pos[3*j+2] - zi
+			r2 := dx*dx + dy*dy + dz*dz + soft
+			inv := 1 / (r2 * math.Sqrt(r2))
+			fx += dx * inv
+			fy += dy * inv
+			fz += dz * inv
+		}
+		w.frc[3*i] += fx
+		w.frc[3*i+1] += fy
+		w.frc[3*i+2] += fz
+	}
+}
+
+// integrate advances block bi and clears its forces.
+func (w *NBody) integrate(bi int) {
+	const dt = 1e-4
+	b := w.block
+	for i := bi * b; i < (bi+1)*b; i++ {
+		for d := 0; d < 3; d++ {
+			w.vel[3*i+d] += dt * w.frc[3*i+d]
+			w.pos[3*i+d] += dt * w.vel[3*i+d]
+			w.frc[3*i+d] = 0
+		}
+	}
+}
+
+func (w *NBody) posRep(bi int) *float64 { return &w.pos[3*bi*w.block] }
+func (w *NBody) frcRep(bi int) *float64 { return &w.frc[3*bi*w.block] }
+
+// Run implements Workload.
+func (w *NBody) Run(rt *core.Runtime) {
+	rt.Run(func(c *core.Ctx) {
+		for s := 0; s < w.steps; s++ {
+			for bi := 0; bi < w.nb; bi++ {
+				for bj := 0; bj < w.nb; bj++ {
+					bi, bj := bi, bj
+					c.Spawn(func(*core.Ctx) { w.forcePair(bi, bj) },
+						core.In(w.posRep(bi)), core.In(w.posRep(bj)),
+						core.Commutative(w.frcRep(bi)))
+				}
+			}
+			for bi := 0; bi < w.nb; bi++ {
+				bi := bi
+				c.Spawn(func(*core.Ctx) { w.integrate(bi) },
+					core.InOut(w.posRep(bi)), core.InOut(w.frcRep(bi)))
+			}
+		}
+		c.Taskwait()
+	})
+}
+
+// RunSerial implements Workload.
+func (w *NBody) RunSerial() {
+	for s := 0; s < w.steps; s++ {
+		for bi := 0; bi < w.nb; bi++ {
+			for bj := 0; bj < w.nb; bj++ {
+				w.forcePair(bi, bj)
+			}
+		}
+		for bi := 0; bi < w.nb; bi++ {
+			w.integrate(bi)
+		}
+	}
+	copy(w.refPos, w.pos)
+}
+
+// Verify implements Workload: commutative accumulation makes force
+// summation order nondeterministic, so positions are compared within
+// tolerance.
+func (w *NBody) Verify() error {
+	got := append([]float64(nil), w.pos...)
+	w.Reset()
+	w.RunSerial()
+	for i := range got {
+		if !almostEqual(got[i], w.refPos[i], 1e-9) {
+			return fmt.Errorf("nbody: pos[%d] = %v, serial %v", i, got[i], w.refPos[i])
+		}
+	}
+	return nil
+}
+
+// TotalWork implements Workload (particle-pair interactions).
+func (w *NBody) TotalWork() float64 {
+	return float64(w.n) * float64(w.n) * float64(w.steps)
+}
+
+// Tasks implements Workload.
+func (w *NBody) Tasks() int { return w.steps * (w.nb*w.nb + w.nb) }

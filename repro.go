@@ -1,0 +1,114 @@
+// Package repro is a from-scratch Go implementation of the task-based
+// runtime system described in "Advanced Synchronization Techniques for
+// Task-based Runtime Systems" (Álvarez, Sala, Maroñas, Roca, Beltran;
+// PPoPP 2021): an OmpSs-2/Nanos6-style data-flow runtime with a
+// wait-free dependency system, a delegation-based synchronized scheduler
+// built on the novel Delegation Ticket Lock, a scalable pooled task
+// allocator, and a lightweight CTF-inspired instrumentation backend.
+//
+// This package is the public API façade; the implementation lives in the
+// internal packages (see DESIGN.md for the full inventory).
+//
+// Quick start:
+//
+//	rt := repro.New(repro.Config{Workers: 8})
+//	defer rt.Close()
+//
+//	var x float64
+//	rt.Run(func(c *repro.Ctx) {
+//		c.Spawn(func(*repro.Ctx) { x = 21 }, repro.Out(&x))
+//		c.Spawn(func(*repro.Ctx) { x *= 2 }, repro.InOut(&x))
+//		c.Taskwait()
+//	})
+//	// x == 42, with the two tasks ordered by their data dependency.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/deps"
+)
+
+// Core types re-exported from the runtime core.
+type (
+	// Runtime is a running task-runtime instance; see core.Runtime.
+	Runtime = core.Runtime
+	// Config selects workers, scheduler, dependency system, allocator,
+	// tracing and noise injection; see core.Config.
+	Config = core.Config
+	// Ctx is the execution context passed to every task body.
+	Ctx = core.Ctx
+	// Variant names a preset runtime configuration from the paper's
+	// evaluation ("optimized", "w/o DTLock", ...).
+	Variant = core.Variant
+	// AccessSpec declares one data access of a task.
+	AccessSpec = deps.AccessSpec
+	// NoiseConfig configures simulated OS noise (Figure 11).
+	NoiseConfig = core.NoiseConfig
+)
+
+// New builds and starts a runtime; the caller must Close it.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// NewVariant builds a runtime from one of the paper's preset variants.
+func NewVariant(v Variant, workers, numaNodes int) *Runtime {
+	return core.New(core.ConfigFor(v, workers, numaNodes))
+}
+
+// Access declaration helpers (OmpSs-2 clause equivalents).
+var (
+	// RedSum declares a float64 sum reduction over n elements at p
+	// (OmpSs-2 "reduction(+: ...)").
+	RedSum = func(p *float64, n int) AccessSpec { return core.RedSpec(p, n, deps.OpSum) }
+	// RedMax declares a max reduction.
+	RedMax = func(p *float64, n int) AccessSpec { return core.RedSpec(p, n, deps.OpMax) }
+	// RedMin declares a min reduction.
+	RedMin = func(p *float64, n int) AccessSpec { return core.RedSpec(p, n, deps.OpMin) }
+)
+
+// In declares a read access on p ("in(p)").
+func In[T any](p *T) AccessSpec { return core.In(p) }
+
+// Out declares a write access on p ("out(p)").
+func Out[T any](p *T) AccessSpec { return core.Out(p) }
+
+// InOut declares a read-write access on p ("inout(p)").
+func InOut[T any](p *T) AccessSpec { return core.InOut(p) }
+
+// Commutative declares a commutative access on p ("commutative(p)").
+func Commutative[T any](p *T) AccessSpec { return core.Commutative(p) }
+
+// WeakIn declares a weak read access ("weakin(p)"): it never delays the
+// task but anchors its children's dependencies on p.
+func WeakIn[T any](p *T) AccessSpec { return core.WeakIn(p) }
+
+// WeakInOut declares a weak read-write access ("weakinout(p)").
+func WeakInOut[T any](p *T) AccessSpec { return core.WeakInOut(p) }
+
+// Scheduler, dependency-system, allocator and policy selectors.
+const (
+	SchedSyncDTLock    = core.SchedSyncDTLock
+	SchedCentralPTLock = core.SchedCentralPTLock
+	SchedBlocking      = core.SchedBlocking
+	SchedWorkStealing  = core.SchedWorkStealing
+
+	DepsWaitFree = core.DepsWaitFree
+	DepsLocked   = core.DepsLocked
+
+	AllocPooled = core.AllocPooled
+	AllocSerial = core.AllocSerial
+
+	PolicyFIFO     = core.PolicyFIFO
+	PolicyLIFO     = core.PolicyLIFO
+	PolicyLocality = core.PolicyLocality
+)
+
+// Evaluation variant presets (paper §6).
+const (
+	VariantOptimized      = core.VariantOptimized
+	VariantNoJemalloc     = core.VariantNoJemalloc
+	VariantNoWaitFreeDeps = core.VariantNoWaitFreeDeps
+	VariantNoDTLock       = core.VariantNoDTLock
+	VariantGOMPLike       = core.VariantGOMPLike
+	VariantLLVMLike       = core.VariantLLVMLike
+	VariantIntelLike      = core.VariantIntelLike
+)

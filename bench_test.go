@@ -106,7 +106,10 @@ func BenchmarkFigure11Noise(b *testing.B) {
 
 func BenchmarkSection34SchedulerComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := harness.RunSection34(benchWorkerLimit(), 20000)
+		r, err := harness.RunSection34(benchWorkerLimit(), 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.SchedulingSpeedup, "dtlock_vs_ptlock_x")
 		b.ReportMetric(r.InsertionSpeedup, "buffered_vs_serial_x")
 		b.ReportMetric(r.DTLockOpsPerSec, "dtlock_tasks/s")

@@ -102,7 +102,11 @@ func main() {
 		"DTLock(serve)", benchDTLockServing(*threads, *dur))
 
 	fmt.Printf("\n§3.4 scheduler comparison (%d empty tasks, %d workers):\n", *tasks, *threads)
-	r := harness.RunSection34(*threads, *tasks)
+	r, err := harness.RunSection34(*threads, *tasks)
+	if err != nil {
+		fmt.Println("FAILED:", err)
+		return
+	}
 	fmt.Printf("  DTLock scheduler:      %12.0f tasks/s\n", r.DTLockOpsPerSec)
 	fmt.Printf("  PTLock scheduler:      %12.0f tasks/s\n", r.PTLockOpsPerSec)
 	fmt.Printf("  -> scheduling speedup: %.2fx (paper reports ~4x on 48 cores)\n", r.SchedulingSpeedup)

@@ -48,7 +48,12 @@ func main() {
 			}
 			start := time.Now()
 			w.Reset()
-			w.Run(rt)
+			if err := w.Run(rt); err != nil {
+				fmt.Printf(" %s:FAIL", name)
+				fmt.Fprintf(os.Stderr, "\nverify: %s on %s: run: %v\n", name, v, err)
+				failures++
+				continue
+			}
 			if err := w.Verify(); err != nil {
 				fmt.Printf(" %s:FAIL", name)
 				fmt.Fprintf(os.Stderr, "\nverify: %s on %s: %v\n", name, v, err)

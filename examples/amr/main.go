@@ -21,7 +21,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads")
 	flag.Parse()
 
-	rt := repro.New(repro.Config{Workers: *workers})
+	rt := repro.New(repro.WithWorkers(*workers))
 	defer rt.Close()
 
 	cells := make([]float64, *nBlocks**blockSize)
@@ -39,7 +39,7 @@ func main() {
 		}
 	}
 
-	rt.Run(func(c *repro.Ctx) {
+	err := rt.Run(func(c *repro.Ctx) {
 		for s := 0; s < *steps; s++ {
 			for b := 0; b < *nBlocks; b++ {
 				s, b := s, b
@@ -79,6 +79,10 @@ func main() {
 		}
 		c.Taskwait()
 	})
+	if err != nil {
+		fmt.Println("FAILED:", err)
+		return
+	}
 
 	sum := 0.0
 	for _, v := range cells {

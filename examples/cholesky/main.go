@@ -14,7 +14,7 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/workloads"
 )
 
@@ -24,13 +24,16 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads")
 	flag.Parse()
 
-	rt := core.New(core.Config{Workers: *workers, NUMANodes: 2})
+	rt := repro.New(repro.WithWorkers(*workers), repro.WithNUMANodes(2))
 	defer rt.Close()
 
 	w := workloads.NewCholesky(*n, *block)
 	w.Reset()
 	start := time.Now()
-	w.Run(rt)
+	if err := w.Run(rt); err != nil {
+		fmt.Println("FAILED:", err)
+		return
+	}
 	elapsed := time.Since(start)
 
 	if err := w.Verify(); err != nil {

@@ -1,0 +1,94 @@
+// Graph: the declarative named-task layer over the dependency engine.
+// A small analytics DAG — two independent loaders feeding a join, a
+// model stage, and a report — runs with typed results; then the same
+// graph runs with an injected failure under both error policies:
+// fail-fast drains everything that hasn't started, while collect-all
+// keeps independent branches running and skips only the failure's
+// transitive dependents.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func buildGraph(failLoad bool) *repro.Graph {
+	return repro.NewGraph().
+		Add("load-users", nil, func(c *repro.Ctx, _ map[string]any) (any, error) {
+			if failLoad {
+				return nil, errors.New("users shard offline")
+			}
+			return []string{"ada", "grace", "edsger"}, nil
+		}).
+		Add("load-events", nil, func(c *repro.Ctx, _ map[string]any) (any, error) {
+			return map[string]int{"ada": 3, "grace": 5, "edsger": 2}, nil
+		}).
+		Add("join", []string{"load-users", "load-events"}, func(c *repro.Ctx, deps map[string]any) (any, error) {
+			users := deps["load-users"].([]string)
+			events := deps["load-events"].(map[string]int)
+			total := 0
+			for _, u := range users {
+				total += events[u]
+			}
+			return total, nil
+		}).
+		Add("model", []string{"join"}, func(c *repro.Ctx, deps map[string]any) (any, error) {
+			return float64(deps["join"].(int)) / 3, nil
+		}).
+		Add("report", []string{"model", "load-events"}, func(c *repro.Ctx, deps map[string]any) (any, error) {
+			return fmt.Sprintf("mean events/user: %.2f", deps["model"].(float64)), nil
+		})
+}
+
+func main() {
+	rt := repro.New(repro.WithWorkers(runtime.NumCPU()))
+	defer rt.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Happy path: every task runs, results are typed out by name.
+	res, err := buildGraph(false).Run(ctx, rt)
+	if err != nil {
+		fmt.Println("unexpected error:", err)
+		return
+	}
+	report, _ := repro.Value[string](res, "report")
+	fmt.Println("ok:", report)
+
+	// Failure path, fail-fast (the default): "load-users" fails, the
+	// submission is cancelled, and every task that had not started —
+	// dependents and independent branches alike — is drained.
+	res, err = buildGraph(true).Run(ctx, rt)
+	fmt.Println("\nfailing loader, fail-fast:")
+	printResults(res, err)
+
+	// Failure path, collect-all: independent branches still run; only
+	// the failure's transitive dependents are skipped, each with an
+	// error wrapping its dependency's.
+	ca := repro.New(
+		repro.WithWorkers(runtime.NumCPU()),
+		repro.WithErrorPolicy(repro.CollectAll),
+	)
+	defer ca.Close()
+	res, err = buildGraph(true).Run(ctx, ca)
+	fmt.Println("\nfailing loader, collect-all:")
+	printResults(res, err)
+}
+
+func printResults(res map[string]repro.Result, err error) {
+	fmt.Println("  run error:", err)
+	for _, name := range []string{"load-users", "load-events", "join", "model", "report"} {
+		r := res[name]
+		if r.Err != nil {
+			fmt.Printf("  %-12s skipped/failed: %v\n", name, r.Err)
+		} else {
+			fmt.Printf("  %-12s ok: %v\n", name, r.Value)
+		}
+	}
+}

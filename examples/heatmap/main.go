@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"runtime"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -20,14 +20,19 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker threads")
 	flag.Parse()
 
-	rt := core.New(core.Config{
-		Workers: *workers, NUMANodes: 2, TraceCapacity: 1 << 16,
-	})
+	rt := repro.New(
+		repro.WithWorkers(*workers),
+		repro.WithNUMANodes(2),
+		repro.WithTracing(1<<16),
+	)
 	defer rt.Close()
 
 	w := workloads.NewHeat(*n, *block, *steps)
 	w.Reset()
-	w.Run(rt)
+	if err := w.Run(rt); err != nil {
+		fmt.Println("FAILED:", err)
+		return
+	}
 	if err := w.Verify(); err != nil {
 		fmt.Println("FAILED:", err)
 		return

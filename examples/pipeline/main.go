@@ -20,7 +20,7 @@ const (
 )
 
 func main() {
-	rt := repro.New(repro.Config{Workers: runtime.NumCPU()})
+	rt := repro.New(repro.WithWorkers(runtime.NumCPU()))
 	defer rt.Close()
 
 	raw := make([][]float64, batches)    // stage 0 output
@@ -29,7 +29,7 @@ func main() {
 	statsMax = math.Inf(-1)
 	var token float64 // commutative dependency handle for the stats
 
-	rt.Run(func(c *repro.Ctx) {
+	err := rt.Run(func(c *repro.Ctx) {
 		for b := 0; b < batches; b++ {
 			b := b
 			// Stage 1: produce a batch.
@@ -66,6 +66,10 @@ func main() {
 		}
 		c.Taskwait()
 	})
+	if err != nil {
+		fmt.Println("FAILED:", err)
+		return
+	}
 
 	fmt.Printf("pipeline: %d batches × %d samples -> sum %.3f, max %.6f\n",
 		batches, batchSize, statsSum, statsMax)

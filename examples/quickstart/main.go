@@ -1,21 +1,28 @@
-// Quickstart: the data-flow execution model in a dozen lines. Three
-// tasks chained purely by their declared accesses compute (x+1)*2 and
-// read the result — no explicit synchronization anywhere.
+// Quickstart: the data-flow execution model in a few dozen lines.
+// Three tasks chained purely by their declared accesses compute
+// (x+1)*2, a typed Future carries a result out of a root task, and a
+// reduction accumulates across a hundred concurrent tasks — no
+// explicit synchronization anywhere.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"runtime"
 
 	"repro"
 )
 
 func main() {
-	rt := repro.New(repro.Config{Workers: runtime.NumCPU()})
+	rt := repro.New(repro.WithWorkers(runtime.NumCPU()))
 	defer rt.Close()
 
+	// Data-flow ordering: producer -> transformer -> consumer, chained
+	// by their accesses on x. Run returns the submission's error (nil
+	// here; a body panic or a Go/GoErr task error would surface).
 	var x float64
-	rt.Run(func(c *repro.Ctx) {
+	err := rt.Run(func(c *repro.Ctx) {
 		// Producer: out(x).
 		c.Spawn(func(*repro.Ctx) { x = 1 }, repro.Out(&x))
 		// Transformer: inout(x) — waits for the producer.
@@ -24,6 +31,35 @@ func main() {
 		c.Spawn(func(*repro.Ctx) { fmt.Println("result:", x) }, repro.In(&x))
 		c.Taskwait()
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Typed futures: a root task returns a value; nested Go tasks
+	// return theirs through futures consumed inside the body.
+	f := repro.Submit(rt, func(c *repro.Ctx) (float64, error) {
+		squares := make([]*repro.Future[float64], 0, 10)
+		for i := 1; i <= 10; i++ {
+			squares = append(squares, repro.Go(c, func(*repro.Ctx) (float64, error) {
+				return float64(i * i), nil
+			}))
+		}
+		c.Taskwait()
+		total := 0.0
+		for _, sq := range squares {
+			v, err := sq.Wait(nil)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+		return total, nil
+	})
+	total, err := f.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sum of squares 1..10 =", total) // 385
 
 	// Reductions: many tasks concurrently accumulate into privatized
 	// buffers; the combined sum lands in `sum` when the domain closes.

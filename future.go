@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Future is the typed completion handle of a submitted task: it
+// delivers the task's result and error once the task has *fully*
+// completed (body finished and every descendant complete). Futures are
+// created by Submit (root tasks) and Go (child tasks).
+type Future[T any] struct{ h *core.Handle }
+
+// Done returns a channel closed at the task's full completion.
+func (f *Future[T]) Done() <-chan struct{} { return f.h.Done() }
+
+// Wait blocks until the task fully completes or ctx is cancelled. It
+// returns the task's value, or the task's error — a body error, a
+// *PanicError for a recovered panic, or an error matching
+// ErrTaskSkipped when the task was drained by a cancelled scope. A nil
+// ctx waits unconditionally. If ctx is cancelled before the task
+// completes, Wait returns the cancellation cause; the task itself keeps
+// running (cancel the submission context to stop it).
+func (f *Future[T]) Wait(ctx context.Context) (T, error) {
+	v, err := f.h.Wait(ctx)
+	if err != nil || v == nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Submit submits a root task whose body returns (T, error) and returns
+// its Future without waiting. Submissions participate in root-level
+// dependency chains exactly like Run roots: matching accesses order
+// them against other Submit and Run roots.
+func Submit[T any](rt *Runtime, fn func(*Ctx) (T, error), accs ...AccessSpec) *Future[T] {
+	return SubmitCtx(context.Background(), rt, fn, accs...)
+}
+
+// SubmitCtx is Submit honoring a caller context: if ctx is cancelled
+// before the task starts, the task is drained without executing and the
+// Future reports the cause.
+func SubmitCtx[T any](ctx context.Context, rt *Runtime, fn func(*Ctx) (T, error), accs ...AccessSpec) *Future[T] {
+	h := rt.SubmitCtx(ctx, func(c *Ctx) (any, error) { return fn(c) }, accs...)
+	return &Future[T]{h: h}
+}
+
+// Go spawns a future-backed child task from inside a task body (it may
+// only be called with the spawning task's own Ctx, like Ctx.Spawn). The
+// child shares the parent's submission scope: its error propagates to
+// the root (cancelling unstarted scope tasks under FailFast) in
+// addition to being delivered through the Future.
+func Go[T any](c *Ctx, fn func(*Ctx) (T, error), accs ...AccessSpec) *Future[T] {
+	h := c.GoFn(func(cc *Ctx) (any, error) { return fn(cc) }, accs...)
+	return &Future[T]{h: h}
+}
+
+// GoErr spawns an error-only child task: Go for bodies with no result.
+func GoErr(c *Ctx, fn func(*Ctx) error, accs ...AccessSpec) *Future[struct{}] {
+	h := c.GoFn(func(cc *Ctx) (any, error) { return nil, fn(cc) }, accs...)
+	return &Future[struct{}]{h: h}
+}

@@ -91,6 +91,12 @@ type Config struct {
 	// closest Go equivalent of the paper's one-thread-per-core binding.
 	PinWorkers bool
 
+	// OnError selects how task errors propagate through a submission
+	// scope: FailFast (default) cancels the scope on the first error so
+	// unstarted tasks drain without executing; CollectAll runs every
+	// task and joins the errors at the root.
+	OnError ErrorPolicy
+
 	// TraceCapacity, when non-zero, enables the instrumentation backend
 	// with that many events per core.
 	TraceCapacity int

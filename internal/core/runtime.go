@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,7 +40,13 @@ type Runtime struct {
 	live     atomic.Int64
 	stopping atomic.Bool
 	wg       sync.WaitGroup
-	runMu    sync.Mutex
+
+	// regMu serializes root-task registration into the global domain
+	// (sibling registration is single-writer per domain, as in Nanos6).
+	// It is held only across registration, so roots submitted from
+	// different goroutines — and Submit calls issued while a Run is in
+	// flight — overlap in execution.
+	regMu sync.Mutex
 
 	// noise state for the Figure 11 experiment.
 	serveCount atomic.Int64
@@ -135,26 +143,72 @@ func (rt *Runtime) SchedulerName() string { return rt.sched.Name() }
 func (rt *Runtime) DepsName() string { return rt.deps.Name() }
 
 // Run submits a root task and blocks until it and all its descendants
-// have fully completed. Run may be called repeatedly (sequentially or
-// from multiple goroutines; roots are serialized because the global
-// domain has a single registration writer).
-func (rt *Runtime) Run(body func(*Ctx), accs ...deps.AccessSpec) {
-	rt.runMu.Lock()
-	defer rt.runMu.Unlock()
-	external := rt.cfg.Workers
-	done := make(chan struct{})
-	t := rt.newTask(&rt.global, body, accs, external)
-	t.done = done
-	rt.register(&rt.global, t, external)
-	<-done
+// have fully completed. It returns the scope's aggregate error: task
+// errors (from GoFn bodies or recovered panics) joined per the
+// configured ErrorPolicy, or nil when every task succeeded. Run may be
+// called repeatedly, from multiple goroutines; root registrations are
+// serialized but their execution overlaps.
+func (rt *Runtime) Run(body func(*Ctx), accs ...deps.AccessSpec) error {
+	return rt.RunCtx(context.Background(), body, accs...)
 }
 
-// newTask allocates and initializes a task without registering it.
+// RunCtx is Run honoring a caller context: when ctx is cancelled (or
+// its deadline passes), tasks of this submission that have not started
+// are drained without executing — the dependency graph and live-task
+// accounting still unwind normally, so RunCtx returns only after the
+// scope has fully drained, with the cancellation cause. Tasks whose
+// bodies already started run to completion; they can poll Ctx.Err to
+// stop early.
+func (rt *Runtime) RunCtx(ctx context.Context, body func(*Ctx), accs ...deps.AccessSpec) error {
+	h := rt.submitRoot(ctx, body, nil, accs)
+	// The root's completion folded the scope's aggregate error into the
+	// handle (completeOne); read that snapshot rather than recomputing,
+	// so Run's return and the Handle always agree.
+	<-h.done
+	return h.err
+}
+
+// Submit submits a root task whose body returns a result and an error,
+// without waiting: the returned Handle delivers them at the task's full
+// completion. Submissions participate in root-level dependency chains
+// exactly like Run roots (matching accesses order them). The typed
+// façade wrapper is repro.Submit.
+func (rt *Runtime) Submit(fn func(*Ctx) (any, error), accs ...deps.AccessSpec) *Handle {
+	return rt.SubmitCtx(context.Background(), fn, accs...)
+}
+
+// SubmitCtx is Submit with a caller context; cancellation drains the
+// task (and any descendants) as in RunCtx, and the Handle reports the
+// cause.
+func (rt *Runtime) SubmitCtx(ctx context.Context, fn func(*Ctx) (any, error), accs ...deps.AccessSpec) *Handle {
+	return rt.submitRoot(ctx, nil, fn, accs)
+}
+
+// submitRoot creates one root task under the global domain with a fresh
+// error/cancellation scope and registers it.
+func (rt *Runtime) submitRoot(ctx context.Context, body func(*Ctx), fn func(*Ctx) (any, error), accs []deps.AccessSpec) *Handle {
+	sc := newScope(ctx, rt.cfg.OnError)
+	h := newHandle()
+	external := rt.cfg.Workers
+	rt.regMu.Lock()
+	t := rt.newTask(&rt.global, body, accs, external)
+	t.fn = fn
+	t.sc = sc
+	t.handle = h
+	t.ownsScope = true
+	rt.register(&rt.global, t, external)
+	rt.regMu.Unlock()
+	return h
+}
+
+// newTask allocates and initializes a task without registering it. The
+// task inherits the parent's scope; root submitters override it.
 func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec, worker int) *Task {
 	t := rt.alloc.Get(worker)
 	t.rt = rt
 	t.body = body
 	t.parent = parent
+	t.sc = parent.sc
 	t.alive.Store(1)
 	t.node.Payload = t
 	if len(accs) > 0 {
@@ -171,12 +225,12 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 func (rt *Runtime) register(parent *Task, t *Task, worker int) {
 	parent.alive.Add(1)
 	rt.live.Add(1)
+	// The tracer is nil-receiver-safe (a nil *trace.Tracer no-ops every
+	// method), so emission sites call it unconditionally.
 	rt.tracer.Emit(worker, trace.KTaskCreate, 0)
 	t0 := rt.tracer.Now()
 	rt.deps.Register(&parent.node, &t.node, worker)
-	if rt.tracer != nil {
-		rt.tracer.EmitTS(worker, trace.KDepRegister, uint64(rt.tracer.Now()-t0), t0)
-	}
+	rt.tracer.EmitTS(worker, trace.KDepRegister, uint64(rt.tracer.Now()-t0), t0)
 }
 
 // spawn implements Ctx.Spawn.
@@ -195,16 +249,11 @@ func (rt *Runtime) workerLoop(id int) {
 		defer runtime.UnlockOSThread()
 	}
 	for i := 0; ; i++ {
-		var t0 int64
-		if rt.tracer != nil {
-			t0 = rt.tracer.Now()
-		}
+		t0 := rt.tracer.Now()
 		t := rt.sched.Get(id)
 		if t != nil {
-			if rt.tracer != nil {
-				rt.tracer.EmitTS(id, trace.KSchedEnter, 0, t0)
-				rt.tracer.Emit(id, trace.KSchedLeave, 0)
-			}
+			rt.tracer.EmitTS(id, trace.KSchedEnter, 0, t0)
+			rt.tracer.Emit(id, trace.KSchedLeave, 0)
 			rt.execute(t, id)
 			i = 0
 			continue
@@ -218,38 +267,84 @@ func (rt *Runtime) workerLoop(id int) {
 
 // execute runs one ready task to completion on worker id: commutative
 // token acquisition, body, dependency release, completion cascade.
+//
+// If the task's scope has been cancelled (caller context done, or an
+// earlier error under FailFast), the body is skipped entirely — but the
+// dependency release and the completion cascade still run, so successor
+// tasks are released (and drained in turn), live-task accounting
+// reaches zero, and the task shell is recycled. This is what lets a
+// cancelled submission unwind an arbitrarily deep ready graph without
+// executing it.
 func (rt *Runtime) execute(t *Task, id int) {
-	if t.node.HasCommutative() && !t.node.TryAcquireCommutative() {
+	cause := t.sc.abortCause()
+	if cause == nil && t.node.HasCommutative() && !t.node.TryAcquireCommutative() {
 		// Lost the token race: re-enqueue and let the worker move on.
 		rt.sched.Add(t, id)
 		runtime.Gosched()
 		return
 	}
-	rt.tracer.Emit(id, trace.KTaskStart, 0)
-	if t.body != nil {
-		ctx := Ctx{rt: rt, worker: id, task: t}
-		t.body(&ctx)
+	if cause != nil {
+		// Drained: record the skip on the task's handle, if it has one.
+		// Skips are not scope errors — only their cause is.
+		rt.tracer.Emit(id, trace.KTaskCancel, 0)
+		if t.handle != nil && t.handle.err == nil {
+			t.handle.err = &skipError{cause: cause}
+		}
+	} else {
+		rt.tracer.Emit(id, trace.KTaskStart, 0)
+		rt.runBody(t, id)
+		rt.tracer.Emit(id, trace.KTaskEnd, 0)
+		t.node.ReleaseCommutative()
 	}
-	rt.tracer.Emit(id, trace.KTaskEnd, 0)
-	t.node.ReleaseCommutative()
 
 	t0 := rt.tracer.Now()
 	rt.deps.Unregister(&t.node, id)
-	if rt.tracer != nil {
-		rt.tracer.EmitTS(id, trace.KDepUnregister, uint64(rt.tracer.Now()-t0), t0)
-	}
+	rt.tracer.EmitTS(id, trace.KDepUnregister, uint64(rt.tracer.Now()-t0), t0)
 	rt.completeOne(t, id)
+}
+
+// runBody invokes the task body with panic recovery: a panicking body
+// fails the task with a *PanicError instead of killing the worker, and
+// execution (commutative release, dependency release, completion)
+// continues as if the body had returned that error.
+func (rt *Runtime) runBody(t *Task, id int) {
+	ctx := Ctx{rt: rt, worker: id, task: t}
+	defer func() {
+		if r := recover(); r != nil {
+			t.fail(&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	switch {
+	case t.fn != nil:
+		v, err := t.fn(&ctx)
+		if t.handle != nil {
+			t.handle.val = v
+		}
+		if err != nil {
+			t.fail(err)
+		}
+	case t.body != nil:
+		t.body(&ctx)
+	}
 }
 
 // completeOne releases the body guard of t and cascades full completions
 // up the ancestor chain. Fully completed tasks are recycled; their
-// accesses are left to the garbage collector (see Task.reset).
+// accesses are left to the garbage collector (see Task.reset). Handles
+// are closed here — full completion is when a Future's result becomes
+// observable — and scope-owning roots fold their scope's aggregate
+// error into the handle and release the scope's context registration.
 func (rt *Runtime) completeOne(t *Task, id int) {
 	for t != nil && t != &rt.global && t.alive.Add(-1) == 0 {
 		parent := t.parent
 		rt.live.Add(-1)
-		if t.done != nil {
-			close(t.done)
+		if t.handle != nil {
+			if t.ownsScope {
+				if agg := t.sc.err(); agg != nil {
+					t.handle.err = agg
+				}
+			}
+			close(t.handle.done)
 		}
 		t.reset()
 		rt.alloc.Put(id, t)

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrorPolicy selects how task errors propagate through a submission
+// scope (one Run/RunCtx/Submit call and every task spawned under it).
+type ErrorPolicy uint8
+
+const (
+	// FailFast cancels the scope on the first task error: tasks that
+	// have not started yet are drained without executing their bodies
+	// (they complete immediately with a *SkipError*), and the root
+	// returns the originating error. This is the default.
+	FailFast ErrorPolicy = iota
+	// CollectAll lets every task run regardless of earlier failures;
+	// the root returns the accumulated errors joined with errors.Join.
+	CollectAll
+)
+
+// String names the policy for diagnostics.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case CollectAll:
+		return "collect-all"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ErrTaskSkipped marks tasks that were drained without executing
+// because their scope was cancelled (by a caller's context or, under
+// FailFast, by an earlier task error). Test with errors.Is; the
+// cancellation cause is also reachable through errors.Is/As.
+var ErrTaskSkipped = errors.New("task skipped")
+
+// skipError is the error recorded on a drained task's handle: it
+// unwraps to both ErrTaskSkipped and the cancellation cause.
+type skipError struct{ cause error }
+
+func (e *skipError) Error() string {
+	return "task skipped: " + e.cause.Error()
+}
+
+func (e *skipError) Unwrap() []error { return []error{ErrTaskSkipped, e.cause} }
+
+// PanicError wraps a panic recovered from a task body. The runtime
+// converts body panics into errors rather than crashing the worker
+// pool; the panic value and the goroutine stack at recovery time are
+// preserved for debugging.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted stack of the panicking goroutine.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task panicked: %v", e.Value)
+}
+
+// scope is the error/cancellation domain of one root submission: the
+// root task of a Run, RunCtx or Submit call and all of its descendants
+// share one scope. It records task failures, applies the error policy,
+// and mirrors the caller's context cancellation into the runtime (the
+// execute path consults abortCause before running each body).
+type scope struct {
+	ctx    context.Context // caller context; nil for plain Run/Submit
+	policy ErrorPolicy
+
+	// done caches ctx.Done() so the per-task abort check is a channel
+	// poll rather than a context-tree walk; nil for non-cancellable
+	// contexts (Background), which skips the poll entirely.
+	done <-chan struct{}
+
+	// aborted flips once; cause holds the first cancellation cause.
+	// ctxAborted additionally marks that the abort came from the
+	// caller's context (observed during execution), as opposed to a
+	// FailFast task error already recorded in errs.
+	aborted    atomic.Bool
+	ctxAborted atomic.Bool
+	cause      atomic.Pointer[error]
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// newScope builds the scope for one root submission. Context
+// cancellation is observed synchronously by abortCause — the context
+// package closes Done before a CancelFunc returns, so every task
+// executed after cancellation drains deterministically.
+func newScope(ctx context.Context, policy ErrorPolicy) *scope {
+	sc := &scope{ctx: ctx, policy: policy}
+	if ctx != nil {
+		sc.done = ctx.Done()
+	}
+	return sc
+}
+
+// fail records one task failure and, under FailFast, cancels the scope
+// so not-yet-started tasks are drained.
+func (sc *scope) fail(err error) {
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	sc.errs = append(sc.errs, err)
+	sc.mu.Unlock()
+	if sc.policy == FailFast {
+		sc.cancel(err)
+	}
+}
+
+// cancel aborts the scope with cause; the first caller wins.
+func (sc *scope) cancel(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	sc.cause.CompareAndSwap(nil, &cause)
+	sc.aborted.Store(true)
+}
+
+// abortCause returns the cancellation cause, or nil while the scope is
+// live. It is the per-task hot-path check — one atomic load, plus a
+// poll of the caller context's Done channel for cancellable
+// submissions — and is safe on a nil scope (tasks of the global
+// domain).
+func (sc *scope) abortCause() error {
+	if sc == nil {
+		return nil
+	}
+	if sc.aborted.Load() {
+		return *sc.cause.Load()
+	}
+	if sc.done != nil {
+		select {
+		case <-sc.done:
+			sc.cancel(context.Cause(sc.ctx))
+			sc.ctxAborted.Store(true)
+			return *sc.cause.Load()
+		default:
+		}
+	}
+	return nil
+}
+
+// err returns the scope's aggregate error: the context cancellation
+// cause — only if the cancellation was actually observed during
+// execution (something drained or a body saw Ctx.Err), so a deadline
+// firing after every task already completed does not fail a successful
+// run — joined with every recorded task error. Skipped tasks are not
+// errors of the scope; only the failure (or cancellation) that caused
+// the skipping is reported.
+func (sc *scope) err() error {
+	sc.mu.Lock()
+	errs := sc.errs
+	sc.mu.Unlock()
+	if sc.ctxAborted.Load() {
+		return errors.Join(append([]error{*sc.cause.Load()}, errs...)...)
+	}
+	return errors.Join(errs...)
+}
+
+// Handle is the untyped completion handle of a submitted task: it
+// carries the task's result value and error and is closed at the task's
+// *full* completion (body finished and every descendant complete). The
+// typed repro.Future[T] wraps a Handle.
+type Handle struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newHandle() *Handle { return &Handle{done: make(chan struct{})} }
+
+// Done returns a channel closed when the task has fully completed.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the task fully completes or ctx is cancelled, and
+// returns the task's result and error. A nil ctx waits unconditionally.
+// If ctx is cancelled first, Wait returns the cancellation cause; the
+// task itself keeps running (cancel its submission context to stop it).
+func (h *Handle) Wait(ctx context.Context) (any, error) {
+	if ctx == nil {
+		<-h.done
+		return h.val, h.err
+	}
+	// A completed task wins over a cancelled context.
+	select {
+	case <-h.done:
+		return h.val, h.err
+	default:
+	}
+	select {
+	case <-h.done:
+		return h.val, h.err
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 	"unsafe"
 
@@ -14,15 +15,27 @@ import (
 type Task struct {
 	node   deps.Node
 	body   func(*Ctx)
+	fn     func(*Ctx) (any, error) // typed body (futures); body xor fn
 	parent *Task
 	rt     *Runtime
+
+	// sc is the error/cancellation scope of the root submission this
+	// task belongs to, inherited from the parent on spawn. Tasks of the
+	// global domain itself have a nil scope.
+	sc *scope
+
+	// handle, when non-nil (roots and future-backed spawns), receives
+	// the task's result/error and is closed at full completion.
+	handle *Handle
+
+	// ownsScope marks the root task of a scope: its full completion
+	// releases the scope's context registration and folds the scope's
+	// aggregate error into the handle.
+	ownsScope bool
 
 	// alive counts full completions outstanding: 1 guard for the body
 	// plus one per live child. The decrement to zero completes the task.
 	alive atomic.Int64
-
-	// done, when non-nil (root tasks), is closed at full completion.
-	done chan struct{}
 }
 
 // reset prepares a recycled Task shell for reuse. The accesses slice is
@@ -32,10 +45,23 @@ type Task struct {
 func (t *Task) reset() {
 	t.node.Reset()
 	t.body = nil
+	t.fn = nil
 	t.parent = nil
 	t.rt = nil
+	t.sc = nil
+	t.handle = nil
+	t.ownsScope = false
 	t.alive.Store(0)
-	t.done = nil
+}
+
+// fail records err as the task's outcome: on the task's handle (first
+// error wins) and in the scope, where the error policy decides whether
+// the rest of the scope keeps running.
+func (t *Task) fail(err error) {
+	if t.handle != nil && t.handle.err == nil {
+		t.handle.err = err
+	}
+	t.sc.fail(err)
 }
 
 // Ctx is the execution context passed to a task body: it identifies the
@@ -58,6 +84,37 @@ func (c *Ctx) Runtime() *Runtime { return c.rt }
 // its dependencies are satisfied and runs on any worker.
 func (c *Ctx) Spawn(body func(*Ctx), accs ...deps.AccessSpec) {
 	c.rt.spawn(c.task, body, accs, c.worker)
+}
+
+// GoFn creates a child task whose body returns a result and an error,
+// and returns its completion Handle. Like Spawn it may only be called
+// from the task's own body. The child shares this task's scope: its
+// error is recorded there (cancelling the scope under FailFast) in
+// addition to being delivered through the Handle. The typed façade
+// wrapper is repro.Go.
+func (c *Ctx) GoFn(fn func(*Ctx) (any, error), accs ...deps.AccessSpec) *Handle {
+	h := newHandle()
+	t := c.rt.newTask(c.task, nil, accs, c.worker)
+	t.fn = fn
+	t.handle = h
+	c.rt.register(c.task, t, c.worker)
+	return h
+}
+
+// Err returns the cancellation cause of the task's scope, or nil while
+// the scope is live. Long-running bodies can poll it to stop early
+// after the scope was cancelled (by the caller's context or a FailFast
+// error); the runtime never interrupts a body that has started.
+func (c *Ctx) Err() error { return c.task.sc.abortCause() }
+
+// Context returns the context of the task's submission scope (the ctx
+// given to RunCtx/SubmitCtx), for passing to context-aware callees.
+// Tasks submitted without a context get a Background context.
+func (c *Ctx) Context() context.Context {
+	if c.task.sc != nil && c.task.sc.ctx != nil {
+		return c.task.sc.ctx
+	}
+	return context.Background()
 }
 
 // Taskwait blocks until every child spawned by this task (and their

@@ -183,7 +183,9 @@ func RunTraced(label string, schedKind core.SchedulerKind, machine platform.Mach
 		return TraceResult{}, err
 	}
 	w.Reset()
-	w.Run(rt)
+	if err := w.Run(rt); err != nil {
+		return TraceResult{}, err
+	}
 	if err := w.Verify(); err != nil {
 		return TraceResult{}, err
 	}
@@ -212,23 +214,30 @@ type Section34Result struct {
 // pure runtime overhead, the quantity the paper's microbenchmark reports
 // ("a fourfold speedup on task scheduling using a DTLock compared to a
 // PTLock, and a twelvefold speedup compared to serial task insertion").
-func RunSection34(workers, tasks int) Section34Result {
-	measure := func(k core.SchedulerKind) float64 {
+func RunSection34(workers, tasks int) (Section34Result, error) {
+	measure := func(k core.SchedulerKind) (float64, error) {
 		cfg := core.Config{Workers: workers, NUMANodes: 2, Scheduler: k}
 		rt := core.New(cfg)
 		defer rt.Close()
 		start := time.Now()
-		rt.Run(func(c *core.Ctx) {
+		err := rt.Run(func(c *core.Ctx) {
 			for i := 0; i < tasks; i++ {
 				c.Spawn(func(*core.Ctx) {})
 			}
 			c.Taskwait()
 		})
-		return float64(tasks) / time.Since(start).Seconds()
+		if err != nil {
+			return 0, fmt.Errorf("§3.4 run on %v scheduler: %w", k, err)
+		}
+		return float64(tasks) / time.Since(start).Seconds(), nil
 	}
-	r := Section34Result{
-		DTLockOpsPerSec: measure(core.SchedSyncDTLock),
-		PTLockOpsPerSec: measure(core.SchedCentralPTLock),
+	var r Section34Result
+	var err error
+	if r.DTLockOpsPerSec, err = measure(core.SchedSyncDTLock); err != nil {
+		return r, err
+	}
+	if r.PTLockOpsPerSec, err = measure(core.SchedCentralPTLock); err != nil {
+		return r, err
 	}
 	r.SchedulingSpeedup = r.DTLockOpsPerSec / r.PTLockOpsPerSec
 
@@ -236,7 +245,9 @@ func RunSection34(workers, tasks int) Section34Result {
 	// (every Add through the central lock). The creator-side cost is what
 	// the twelvefold claim is about, so measure creation throughput.
 	r.BufferedAddsPerSec = r.DTLockOpsPerSec
-	r.SerialAddsPerSec = measure(core.SchedBlocking)
+	if r.SerialAddsPerSec, err = measure(core.SchedBlocking); err != nil {
+		return r, err
+	}
 	r.InsertionSpeedup = r.BufferedAddsPerSec / r.SerialAddsPerSec
-	return r
+	return r, nil
 }

@@ -92,7 +92,11 @@ func RunSweep(cfg SweepConfig) (Panel, error) {
 			for r := 0; r < cfg.Repeats; r++ {
 				w.Reset()
 				start := time.Now()
-				w.Run(rt)
+				if err := w.Run(rt); err != nil {
+					rt.Close()
+					return Panel{}, fmt.Errorf("%s/%s block %d: %w",
+						cfg.Benchmark, v, block, err)
+				}
 				sec := time.Since(start).Seconds()
 				if sec <= 0 {
 					sec = 1e-9

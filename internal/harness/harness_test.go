@@ -156,7 +156,10 @@ func TestRunTracedNoise(t *testing.T) {
 }
 
 func TestSection34RunsAndIsPositive(t *testing.T) {
-	r := RunSection34(4, 2000)
+	r, err := RunSection34(4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.DTLockOpsPerSec <= 0 || r.PTLockOpsPerSec <= 0 || r.SerialAddsPerSec <= 0 {
 		t.Fatalf("non-positive throughput: %+v", r)
 	}

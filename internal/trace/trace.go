@@ -35,7 +35,8 @@ const (
 	KDepUnregister
 	KTaskwaitStart
 	KTaskwaitEnd
-	KInterrupt // simulated kernel interrupt of Arg nanoseconds
+	KInterrupt  // simulated kernel interrupt of Arg nanoseconds
+	KTaskCancel // task drained without executing (scope cancelled)
 	kindMax
 )
 
@@ -45,7 +46,7 @@ var kindNames = [...]string{
 	KDrain: "drain", KIdleStart: "idle-start", KIdleEnd: "idle-end",
 	KDepRegister: "dep-register", KDepUnregister: "dep-unregister",
 	KTaskwaitStart: "taskwait-start", KTaskwaitEnd: "taskwait-end",
-	KInterrupt: "interrupt",
+	KInterrupt: "interrupt", KTaskCancel: "task-cancel",
 }
 
 // String returns the event kind's name.

@@ -130,8 +130,8 @@ func (ch *Cholesky) rep(bi, bj int) *float64 {
 }
 
 // Run implements Workload: the standard right-looking tiled algorithm.
-func (ch *Cholesky) Run(rt *core.Runtime) {
-	rt.Run(func(c *core.Ctx) {
+func (ch *Cholesky) Run(rt *core.Runtime) error {
+	return rt.Run(func(c *core.Ctx) {
 		for k := 0; k < ch.nb; k++ {
 			k := k
 			c.Spawn(func(*core.Ctx) { ch.potrf(k) }, core.InOut(ch.rep(k, k)))

@@ -45,9 +45,9 @@ func (d *DotProduct) Reset() {
 }
 
 // Run implements Workload.
-func (d *DotProduct) Run(rt *core.Runtime) {
+func (d *DotProduct) Run(rt *core.Runtime) error {
 	d.result = 0
-	rt.Run(func(c *core.Ctx) {
+	return rt.Run(func(c *core.Ctx) {
 		for b := 0; b < d.n; b += d.block {
 			lo, hi := b, b+d.block
 			if hi > d.n {

@@ -81,9 +81,9 @@ func (h *Heat) sweepBlock(bi, bj int) float64 {
 
 // Run implements Workload. Block representatives (the first interior
 // element of each tile) carry the dependencies.
-func (h *Heat) Run(rt *core.Runtime) {
+func (h *Heat) Run(rt *core.Runtime) error {
 	h.residual = 0
-	rt.Run(func(c *core.Ctx) {
+	return rt.Run(func(c *core.Ctx) {
 		for s := 0; s < h.steps; s++ {
 			last := s == h.steps-1
 			for bi := 0; bi < h.nb; bi++ {

@@ -77,9 +77,9 @@ func (h *HPCCG) spmvBlock(lo, hi int) {
 
 // Run implements Workload. Every kernel of the serial CG below appears
 // here as a set of blocked tasks chained purely through data accesses.
-func (h *HPCCG) Run(rt *core.Runtime) {
+func (h *HPCCG) Run(rt *core.Runtime) error {
 	n, bs := h.n, h.block
-	rt.Run(func(c *core.Ctx) {
+	return rt.Run(func(c *core.Ctx) {
 		// rr = r·r
 		c.Spawn(func(*core.Ctx) { h.rr = 0 }, core.Out(&h.rr))
 		for lo := 0; lo < n; lo += bs {

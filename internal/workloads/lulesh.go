@@ -93,8 +93,8 @@ func (l *Lulesh) elemRep(b int) *float64 { return &l.elem[b*l.block] }
 func (l *Lulesh) nodeRep(b int) *float64 { return &l.nodeF[b*l.block] }
 
 // Run implements Workload.
-func (l *Lulesh) Run(rt *core.Runtime) {
-	rt.Run(func(c *core.Ctx) {
+func (l *Lulesh) Run(rt *core.Runtime) error {
+	return rt.Run(func(c *core.Ctx) {
 		for s := 0; s < l.steps; s++ {
 			// Scatter: element block b touches node blocks b and b+1
 			// (the shared boundary node), so it takes two commutative

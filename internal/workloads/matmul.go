@@ -67,8 +67,8 @@ func (m *Matmul) rep(x []float64, bi, bj int) *float64 {
 }
 
 // Run implements Workload.
-func (m *Matmul) Run(rt *core.Runtime) {
-	rt.Run(func(c *core.Ctx) {
+func (m *Matmul) Run(rt *core.Runtime) error {
+	return rt.Run(func(c *core.Ctx) {
 		for bi := 0; bi < m.nb; bi++ {
 			for bj := 0; bj < m.nb; bj++ {
 				for bk := 0; bk < m.nb; bk++ {

@@ -98,8 +98,8 @@ func (m *MiniAMR) blockBounds(b int) (lo, hi int, left, right float64) {
 }
 
 // Run implements Workload.
-func (m *MiniAMR) Run(rt *core.Runtime) {
-	rt.Run(func(c *core.Ctx) {
+func (m *MiniAMR) Run(rt *core.Runtime) error {
+	return rt.Run(func(c *core.Ctx) {
 		for s := 0; s < m.steps; s++ {
 			for b := 0; b < m.nb; b++ {
 				s, b := s, b

@@ -98,8 +98,8 @@ func (w *NBody) posRep(bi int) *float64 { return &w.pos[3*bi*w.block] }
 func (w *NBody) frcRep(bi int) *float64 { return &w.frc[3*bi*w.block] }
 
 // Run implements Workload.
-func (w *NBody) Run(rt *core.Runtime) {
-	rt.Run(func(c *core.Ctx) {
+func (w *NBody) Run(rt *core.Runtime) error {
+	return rt.Run(func(c *core.Ctx) {
 		for s := 0; s < w.steps; s++ {
 			for bi := 0; bi < w.nb; bi++ {
 				for bj := 0; bj < w.nb; bj++ {

@@ -25,8 +25,10 @@ type Workload interface {
 	Name() string
 	// Reset reinitializes the data to the deterministic initial state.
 	Reset()
-	// Run executes one full instance through the runtime.
-	Run(rt *core.Runtime)
+	// Run executes one full instance through the runtime. It returns
+	// the submission's aggregate error (recovered task panics, GoFn
+	// errors); numerical mismatches are Verify's department.
+	Run(rt *core.Runtime) error
 	// RunSerial executes the reference implementation on the same data.
 	RunSerial()
 	// Verify checks the result of the last Run against the reference.

@@ -45,7 +45,9 @@ func TestAllWorkloadsVerifyOptimized(t *testing.T) {
 				t.Fatal(err)
 			}
 			w.Reset()
-			w.Run(rt)
+			if err := w.Run(rt); err != nil {
+				t.Fatal(err)
+			}
 			if err := w.Verify(); err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +70,9 @@ func TestAllWorkloadsVerifyAcrossVariants(t *testing.T) {
 					t.Fatal(err)
 				}
 				w.Reset()
-				w.Run(rt)
+				if err := w.Run(rt); err != nil {
+					t.Fatal(err)
+				}
 				if err := w.Verify(); err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -89,7 +93,9 @@ func TestWorkloadsOnComparisonRuntimes(t *testing.T) {
 				tc := smallSizes()[name]
 				w, _ := Build(name, tc.size, tc.block)
 				w.Reset()
-				w.Run(rt)
+				if err := w.Run(rt); err != nil {
+					t.Fatal(err)
+				}
 				if err := w.Verify(); err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -139,10 +145,14 @@ func TestRepeatedRunsAreReproducible(t *testing.T) {
 	rt := newTestRuntime(core.VariantOptimized)
 	defer rt.Close()
 	h1 := NewHeat(32, 8, 3)
-	h1.Run(rt)
+	if err := h1.Run(rt); err != nil {
+		t.Fatal(err)
+	}
 	first := append([]float64(nil), h1.grid...)
 	h1.Reset()
-	h1.Run(rt)
+	if err := h1.Run(rt); err != nil {
+		t.Fatal(err)
+	}
 	for i := range first {
 		if first[i] != h1.grid[i] {
 			t.Fatalf("non-reproducible at %d: %v vs %v", i, first[i], h1.grid[i])

@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Option configures a runtime built with New.
+type Option func(*core.Config)
+
+// New builds and starts a runtime from functional options; unset fields
+// take the core defaults (workers = NumCPU, one NUMA node, the paper's
+// optimized scheduler/deps/allocator, fail-fast errors). The caller
+// must Close the runtime.
+func New(opts ...Option) *Runtime {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.New(cfg)
+}
+
+// WithWorkers sets the number of worker threads (simulated cores).
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = n }
+}
+
+// WithNUMANodes sets the number of SPSC insertion queues of the sync
+// scheduler (§3.1: one queue and lock per NUMA node).
+func WithNUMANodes(n int) Option {
+	return func(c *core.Config) { c.NUMANodes = n }
+}
+
+// WithSPSCCap sets the capacity of each insertion queue.
+func WithSPSCCap(n int) Option {
+	return func(c *core.Config) { c.SPSCCap = n }
+}
+
+// WithScheduler selects the scheduler design.
+func WithScheduler(k SchedulerKind) Option {
+	return func(c *core.Config) { c.Scheduler = k }
+}
+
+// WithDeps selects the dependency-system implementation.
+func WithDeps(k DepsKind) Option {
+	return func(c *core.Config) { c.Deps = k }
+}
+
+// WithAlloc selects the task-memory allocator.
+func WithAlloc(k AllocKind) Option {
+	return func(c *core.Config) { c.Alloc = k }
+}
+
+// WithPolicy selects the unsynchronized scheduling policy.
+func WithPolicy(k PolicyKind) Option {
+	return func(c *core.Config) { c.Policy = k }
+}
+
+// WithErrorPolicy selects how task errors propagate: FailFast (the
+// default) or CollectAll.
+func WithErrorPolicy(p ErrorPolicy) Option {
+	return func(c *core.Config) { c.OnError = p }
+}
+
+// WithPinnedWorkers locks each worker goroutine to an OS thread, the
+// closest Go equivalent of the paper's one-thread-per-core binding.
+func WithPinnedWorkers() Option {
+	return func(c *core.Config) { c.PinWorkers = true }
+}
+
+// WithTracing enables the instrumentation backend with the given
+// per-core event capacity (<= 0 selects the default capacity).
+func WithTracing(capacity int) Option {
+	return func(c *core.Config) {
+		if capacity <= 0 {
+			capacity = 1 << 16
+		}
+		c.TraceCapacity = capacity
+	}
+}
+
+// WithNoise injects simulated OS noise: after the DTLock owner has
+// performed afterServes service operations it stalls for d (Figure 11).
+func WithNoise(afterServes int, d time.Duration) Option {
+	return func(c *core.Config) {
+		c.Noise = core.NoiseConfig{AfterServes: afterServes, Duration: d}
+	}
+}
+
+// WithConfig replaces the whole configuration — an escape hatch for
+// callers that already hold a core.Config (presets, the harness).
+// Options after it still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(c *core.Config) { *c = cfg }
+}

@@ -9,18 +9,53 @@
 // This package is the public API façade; the implementation lives in the
 // internal packages (see DESIGN.md for the full inventory).
 //
-// Quick start:
+// # Quick start
 //
-//	rt := repro.New(repro.Config{Workers: 8})
+// A runtime is built with functional options and closed when done.
+// Tasks are ordered purely by their declared data accesses:
+//
+//	rt := repro.New(repro.WithWorkers(8))
 //	defer rt.Close()
 //
 //	var x float64
-//	rt.Run(func(c *repro.Ctx) {
+//	err := rt.Run(func(c *repro.Ctx) {
 //		c.Spawn(func(*repro.Ctx) { x = 21 }, repro.Out(&x))
 //		c.Spawn(func(*repro.Ctx) { x *= 2 }, repro.InOut(&x))
 //		c.Taskwait()
 //	})
-//	// x == 42, with the two tasks ordered by their data dependency.
+//	// err == nil and x == 42, with the two tasks ordered by their
+//	// data dependency.
+//
+// # Results, errors, cancellation
+//
+// Task bodies can return typed results and errors. Submit runs a root
+// task asynchronously and returns a Future; Go spawns a future-backed
+// child from inside a task body:
+//
+//	f := repro.Submit(rt, func(c *repro.Ctx) (float64, error) {
+//		return math.Sqrt(2), nil
+//	})
+//	v, err := f.Wait(ctx)
+//
+// A body panic is recovered into a *PanicError. Errors propagate to the
+// submission root (Run's return value, Future.Wait) under the runtime's
+// ErrorPolicy: FailFast (default) cancels the submission's remaining
+// unstarted tasks, CollectAll runs everything and joins the errors.
+// RunCtx and SubmitCtx honor context cancellation and deadlines: tasks
+// that have not started when the context fires are drained without
+// executing, while the dependency graph and task accounting unwind
+// normally.
+//
+// For named-DAG workloads, the Graph builder offers a declarative layer
+// on top of the same dependency engine:
+//
+//	g := repro.NewGraph().
+//		Add("a", nil, func(c *repro.Ctx, deps map[string]any) (any, error) { return 2.0, nil }).
+//		Add("b", []string{"a"}, func(c *repro.Ctx, deps map[string]any) (any, error) {
+//			return deps["a"].(float64) * 21, nil
+//		})
+//	res, err := g.Run(ctx, rt)
+//	// res["b"].Value == 42.0
 package repro
 
 import (
@@ -33,7 +68,8 @@ type (
 	// Runtime is a running task-runtime instance; see core.Runtime.
 	Runtime = core.Runtime
 	// Config selects workers, scheduler, dependency system, allocator,
-	// tracing and noise injection; see core.Config.
+	// error policy, tracing and noise injection; see core.Config. Most
+	// callers build it through New's functional options.
 	Config = core.Config
 	// Ctx is the execution context passed to every task body.
 	Ctx = core.Ctx
@@ -44,10 +80,23 @@ type (
 	AccessSpec = deps.AccessSpec
 	// NoiseConfig configures simulated OS noise (Figure 11).
 	NoiseConfig = core.NoiseConfig
+	// ErrorPolicy selects fail-fast vs collect-all error propagation.
+	ErrorPolicy = core.ErrorPolicy
+	// PanicError wraps a panic recovered from a task body.
+	PanicError = core.PanicError
+	// SchedulerKind selects a scheduler design.
+	SchedulerKind = core.SchedulerKind
+	// DepsKind selects a dependency-system implementation.
+	DepsKind = core.DepsKind
+	// AllocKind selects the task-memory allocator.
+	AllocKind = core.AllocKind
+	// PolicyKind selects the unsynchronized scheduling policy.
+	PolicyKind = core.PolicyKind
 )
 
-// New builds and starts a runtime; the caller must Close it.
-func New(cfg Config) *Runtime { return core.New(cfg) }
+// ErrTaskSkipped marks tasks drained without executing because their
+// submission scope was cancelled; see core.ErrTaskSkipped.
+var ErrTaskSkipped = core.ErrTaskSkipped
 
 // NewVariant builds a runtime from one of the paper's preset variants.
 func NewVariant(v Variant, workers, numaNodes int) *Runtime {
@@ -100,6 +149,12 @@ const (
 	PolicyFIFO     = core.PolicyFIFO
 	PolicyLIFO     = core.PolicyLIFO
 	PolicyLocality = core.PolicyLocality
+)
+
+// Error-propagation policies (see ErrorPolicy).
+const (
+	FailFast   = core.FailFast
+	CollectAll = core.CollectAll
 )
 
 // Evaluation variant presets (paper §6).

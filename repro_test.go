@@ -9,7 +9,7 @@ import (
 // TestPublicAPIQuickstart exercises the façade exactly as the README's
 // quickstart does.
 func TestPublicAPIQuickstart(t *testing.T) {
-	rt := repro.New(repro.Config{Workers: 4})
+	rt := repro.New(repro.WithWorkers(4))
 	defer rt.Close()
 
 	var x float64
@@ -24,7 +24,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 }
 
 func TestPublicAPIReductions(t *testing.T) {
-	rt := repro.New(repro.Config{Workers: 4})
+	rt := repro.New(repro.WithWorkers(4))
 	defer rt.Close()
 	var sum, mx float64
 	mx = -1e300
@@ -68,7 +68,7 @@ func TestPublicAPIVariants(t *testing.T) {
 }
 
 func TestPublicAPICommutative(t *testing.T) {
-	rt := repro.New(repro.Config{Workers: 4})
+	rt := repro.New(repro.WithWorkers(4))
 	defer rt.Close()
 	var token float64
 	var counter int64 // unsynchronized; commutative access must protect it

@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/platform"
@@ -116,38 +117,28 @@ func BenchmarkSection34SchedulerComparison(b *testing.B) {
 	}
 }
 
+// The task-lifecycle hot-path benchmarks (tier-2 set). Bodies live in
+// internal/bench so cmd/benchjson snapshots exactly the same code into
+// the BENCH_*.json perf trajectory.
+
 // BenchmarkTaskSpawnOverhead measures bare task creation+completion cost
 // on the optimized runtime: the per-task overhead floor that bounds the
 // fine-granularity cliff of every figure.
-func BenchmarkTaskSpawnOverhead(b *testing.B) {
-	rt := core.New(core.ConfigFor(core.VariantOptimized, 4, 2))
-	defer rt.Close()
-	b.ResetTimer()
-	rt.Run(func(c *core.Ctx) {
-		for i := 0; i < b.N; i++ {
-			c.Spawn(func(*core.Ctx) {})
-			if i%1024 == 1023 {
-				c.Taskwait() // bound the live-task population
-			}
-		}
-		c.Taskwait()
-	})
-}
+func BenchmarkTaskSpawnOverhead(b *testing.B) { bench.SpawnOverhead(b) }
+
+// BenchmarkSpawnChain measures the serialized two-access dependency
+// chain: the spawn→ready→schedule→execute→complete round-trip that the
+// successor-bypass optimization targets.
+func BenchmarkSpawnChain(b *testing.B) { bench.SpawnChain(b) }
+
+// BenchmarkFanOut measures a 64-wide writer→readers fan-out: bulk
+// insertion and concurrent completion accounting.
+func BenchmarkFanOut(b *testing.B) { bench.FanOut(b) }
+
+// BenchmarkSpawnAllocs counts heap allocations per spawned task at the
+// inline-access capacity (4 accesses); the acceptance target is 0.
+func BenchmarkSpawnAllocs(b *testing.B) { bench.SpawnAllocs(b) }
 
 // BenchmarkDependencyChainThroughput measures chained (serialized) task
 // flow: dependency bookkeeping dominates, no parallelism available.
-func BenchmarkDependencyChainThroughput(b *testing.B) {
-	rt := core.New(core.ConfigFor(core.VariantOptimized, 4, 2))
-	defer rt.Close()
-	var x float64
-	b.ResetTimer()
-	rt.Run(func(c *core.Ctx) {
-		for i := 0; i < b.N; i++ {
-			c.Spawn(func(*core.Ctx) { x++ }, core.InOut(&x))
-			if i%1024 == 1023 {
-				c.Taskwait()
-			}
-		}
-		c.Taskwait()
-	})
-}
+func BenchmarkDependencyChainThroughput(b *testing.B) { bench.DependencyChainThroughput(b) }

@@ -1,0 +1,86 @@
+// Command benchjson runs the tier-2 microbenchmark set (internal/bench)
+// and records the results — ns/op, allocs/op, B/op per benchmark — as a
+// labelled snapshot in a JSON file, so every PR leaves a comparable
+// perf-trajectory point behind (BENCH_PR2.json, BENCH_PR3.json, ...).
+//
+// The output file maps label -> benchmark -> metrics. Running the tool
+// again with a different -label merges into the existing file, which is
+// how a single BENCH_*.json carries both the pre-change baseline and
+// the post-change numbers:
+//
+//	go run ./cmd/benchjson -out BENCH_PR2.json -label baseline
+//	... apply the optimization ...
+//	go run ./cmd/benchjson -out BENCH_PR2.json -label optimized
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// entry is one benchmark's snapshot.
+type entry struct {
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	N           int     `json:"n"`
+}
+
+// snapshot is one labelled run of the whole tier-2 set.
+type snapshot struct {
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON file (merged if it exists)")
+	label := flag.String("label", "optimized", "snapshot label within the output file")
+	flag.Parse()
+
+	file := map[string]snapshot{}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	snap := snapshot{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]entry{},
+	}
+	for _, bm := range bench.Tier2 {
+		r := testing.Benchmark(bm.F)
+		snap.Benchmarks[bm.Name] = entry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+			bm.Name, snap.Benchmarks[bm.Name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+	}
+	file[*label] = snap
+
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s [%s]\n", *out, *label)
+}

@@ -1,0 +1,180 @@
+// Package bench holds the tier-2 microbenchmark bodies: the task
+// lifecycle hot-path measurements (spawn, chain, fan-out, allocation
+// count) that track the per-task constant cost the paper's techniques
+// exist to shrink. The bodies live here, outside any _test.go file, so
+// both the `go test -bench` wrappers in the repository root and the
+// cmd/benchjson trajectory tool (which records BENCH_*.json snapshots
+// per PR) run exactly the same code.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Fixed small machine shape so the trajectory numbers are comparable
+// across hosts: enough workers for real contention, small enough that
+// CI runners are not oversubscribed into noise.
+const (
+	benchWorkers = 4
+	benchNUMA    = 2
+	// taskwaitStride bounds the live-task population of open spawn
+	// loops; large enough to amortize the taskwait, small enough to keep
+	// allocator pools and scheduler queues at steady state.
+	taskwaitStride = 1024
+)
+
+func newRT() *core.Runtime {
+	return core.New(core.ConfigFor(core.VariantOptimized, benchWorkers, benchNUMA))
+}
+
+// SpawnOverhead measures bare task creation+completion cost on the
+// optimized runtime: no accesses, no dependencies — the per-task
+// overhead floor that bounds the fine-granularity cliff of every
+// figure.
+func SpawnOverhead(b *testing.B) {
+	rt := newRT()
+	defer rt.Close()
+	body := func(*core.Ctx) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := rt.Run(func(c *core.Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.Spawn(body)
+			if i%taskwaitStride == taskwaitStride-1 {
+				c.Taskwait()
+			}
+		}
+		c.Taskwait()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// SpawnChain measures a 1-deep serialized dependency chain where every
+// task carries two accesses (in on one cell, out on the other,
+// ping-ponged): each release readies exactly the next task, so the
+// spawn→ready→schedule→execute→complete round-trip — and nothing else —
+// is on the critical path. This is the benchmark the successor-bypass
+// optimization targets.
+func SpawnChain(b *testing.B) {
+	rt := newRT()
+	defer rt.Close()
+	var x, y float64
+	body := func(*core.Ctx) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := rt.Run(func(c *core.Ctx) {
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				c.Spawn(body, core.In(&x), core.Out(&y))
+			} else {
+				c.Spawn(body, core.In(&y), core.Out(&x))
+			}
+			if i%taskwaitStride == taskwaitStride-1 {
+				c.Taskwait()
+			}
+		}
+		c.Taskwait()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// FanOut measures a 64-wide fan-out: one writer followed by 64 readers
+// of the same cell, repeated. Readers become ready together, so this
+// stresses bulk scheduler insertion and concurrent completion
+// accounting (the sharded live counter) rather than the serialized
+// chain path.
+func FanOut(b *testing.B) {
+	const width = 64
+	rt := newRT()
+	defer rt.Close()
+	var x float64
+	writer := func(*core.Ctx) { x++ }
+	reader := func(*core.Ctx) { _ = x }
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := rt.Run(func(c *core.Ctx) {
+		for done := 0; done < b.N; {
+			c.Spawn(writer, core.Out(&x))
+			done++
+			for k := 0; k < width && done < b.N; k++ {
+				c.Spawn(reader, core.In(&x))
+				done++
+			}
+			c.Taskwait()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// SpawnAllocs counts heap allocations on the spawn path for tasks at
+// the inline-access capacity (4 accesses each, all chained): the
+// zero-allocation acceptance benchmark. Anything allocating per task —
+// access slices, escaping Ctx, handles — shows up here as allocs/op.
+func SpawnAllocs(b *testing.B) {
+	rt := newRT()
+	defer rt.Close()
+	var cells [4]float64
+	body := func(*core.Ctx) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := rt.Run(func(c *core.Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.Spawn(body,
+				core.InOut(&cells[0]), core.InOut(&cells[1]),
+				core.InOut(&cells[2]), core.InOut(&cells[3]))
+			if i%taskwaitStride == taskwaitStride-1 {
+				c.Taskwait()
+			}
+		}
+		c.Taskwait()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// DependencyChainThroughput measures chained (serialized) task flow
+// through a single inout cell: dependency bookkeeping dominates, no
+// parallelism available. Kept alongside SpawnChain as the
+// single-access variant of the same critical path.
+func DependencyChainThroughput(b *testing.B) {
+	rt := newRT()
+	defer rt.Close()
+	var x float64
+	body := func(*core.Ctx) { x++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := rt.Run(func(c *core.Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.Spawn(body, core.InOut(&x))
+			if i%taskwaitStride == taskwaitStride-1 {
+				c.Taskwait()
+			}
+		}
+		c.Taskwait()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Tier2 is the benchmark set cmd/benchjson snapshots into BENCH_*.json:
+// the perf trajectory future PRs compare against.
+var Tier2 = []struct {
+	Name string
+	F    func(*testing.B)
+}{
+	{"SpawnOverhead", SpawnOverhead},
+	{"SpawnChain", SpawnChain},
+	{"FanOut", FanOut},
+	{"SpawnAllocs", SpawnAllocs},
+	{"DependencyChainThroughput", DependencyChainThroughput},
+}

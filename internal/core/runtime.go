@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/counter"
 	"repro/internal/deps"
 	"repro/internal/locks"
 	"repro/internal/sched"
@@ -21,6 +22,30 @@ const (
 	traceTaskwaitStart = trace.KTaskwaitStart
 	traceTaskwaitEnd   = trace.KTaskwaitEnd
 )
+
+// bypassSlot is one worker's immediate-successor hand-off: while the
+// worker is inside deps.Unregister (armed), the first task its release
+// cascade readies is parked here instead of round-tripping through the
+// scheduler, and execute returns it as the worker's next task. The
+// slot is strictly worker-local — armed and next are only ever touched
+// by the owning worker's goroutine — and padded so neighbouring slots
+// never false-share.
+type bypassSlot struct {
+	armed bool
+	next  *Task
+	_     [48]byte
+}
+
+// ctxSlot is one worker's reusable execution context, padded to its
+// own cache line (Ctx is three words; see the size pin in core_test).
+// Reusing it keeps the per-execute Ctx from escaping to the heap;
+// bodies only observe the Ctx while they run (an API guarantee), and
+// nested execution (taskwait helping) saves and restores the task
+// field around the inner body.
+type ctxSlot struct {
+	ctx Ctx
+	_   [40]byte
+}
 
 // Runtime is a Nanos6-style task-based runtime instance: a pool of
 // worker goroutines (one per simulated core, optionally OS-thread
@@ -37,9 +62,21 @@ type Runtime struct {
 	// submitted through Run.
 	global Task
 
-	live     atomic.Int64
+	// live counts created-but-not-fully-completed tasks, sharded per
+	// worker so the two hottest lifecycle events (create, complete)
+	// never ping-pong a shared cache line. The sum is exact at
+	// quiescence, which is the only time anyone reads it (LiveTasks
+	// diagnostics, the worker stop check).
+	live     *counter.Sharded
 	stopping atomic.Bool
 	wg       sync.WaitGroup
+
+	// bypass and wctx are per-worker hot-path state (successor bypass
+	// slots and reusable execution contexts), indexed by worker; bypass
+	// has an extra slot for the external submitter index so the ready
+	// callback can index it unconditionally.
+	bypass []bypassSlot
+	wctx   []ctxSlot
 
 	// regMu serializes root-task registration into the global domain
 	// (sibling registration is single-writer per domain, as in Nanos6).
@@ -48,25 +85,58 @@ type Runtime struct {
 	// flight — overlap in execution.
 	regMu sync.Mutex
 
-	// noise state for the Figure 11 experiment.
-	serveCount atomic.Int64
-	noiseDone  atomic.Bool
+	// noise state for the Figure 11 experiment. serves is sharded for
+	// the same reason as live; it is only touched while the experiment
+	// is armed (noise configured and not yet fired).
+	serves    *counter.Sharded
+	noiseDone atomic.Bool
 }
 
 // New builds and starts a runtime. The caller must Close it.
 func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{cfg: cfg}
+	rt.live = counter.NewSharded(cfg.Workers + 1)
+	rt.serves = counter.NewSharded(cfg.Workers + 1)
+	rt.bypass = make([]bypassSlot, cfg.Workers+1)
+	rt.wctx = make([]ctxSlot, cfg.Workers)
+	for i := range rt.wctx {
+		rt.wctx[i].ctx = Ctx{rt: rt, worker: i}
+	}
 	if cfg.TraceCapacity > 0 {
 		rt.tracer = trace.New(cfg.Workers, cfg.TraceCapacity)
 	}
 
+	// ready routes a now-runnable task to the scheduler — unless the
+	// calling worker is inside deps.Unregister with a free bypass slot,
+	// in which case the first eligible successor is handed straight
+	// back to that worker's execute loop (Nanos6's immediate-successor
+	// optimization). ReadyFn fires exactly once per task, so parking
+	// the task in the slot instead of the scheduler preserves
+	// exactly-once scheduling; commutative tasks (which may have to be
+	// re-enqueued after losing the token race) and tasks of cancelled
+	// scopes always take the scheduler path.
 	ready := func(n *deps.Node, worker int) {
-		rt.sched.Add(n.Payload.(*Task), worker)
+		t := n.Payload.(*Task)
+		if bs := &rt.bypass[worker]; bs.armed && bs.next == nil &&
+			!n.HasCommutative() && t.sc.abortCause() == nil {
+			bs.next = t
+			return
+		}
+		rt.sched.Add(t, worker)
 	}
 	switch cfg.Deps {
 	case DepsWaitFree:
-		rt.deps = deps.NewWaitFree(ready, cfg.Workers)
+		wf := deps.NewWaitFree(ready, cfg.Workers)
+		// Recycle task shells whose access storage quiesced only after
+		// the task had fully completed (e.g. early-forwarded readers
+		// that finish before their predecessor releases to them).
+		wf.OnQuiescent(func(n *deps.Node, worker int) {
+			t := n.Payload.(*Task)
+			t.reset()
+			rt.alloc.Put(worker, t)
+		})
+		rt.deps = wf
 	case DepsLocked:
 		rt.deps = deps.NewLocked(ready, cfg.Workers)
 	default:
@@ -203,6 +273,12 @@ func (rt *Runtime) submitRoot(ctx context.Context, body func(*Ctx), fn func(*Ctx
 
 // newTask allocates and initializes a task without registering it. The
 // task inherits the parent's scope; root submitters override it.
+// Access sets up to deps.InlineAccessCap live in the shell's inline
+// array — no allocation on the spawn path; larger sets overflow to a
+// heap slice exactly as before. The shell pin taken here is the
+// completion guard of the storage-quiescence protocol: it is dropped in
+// completeOne, and the shell is recycled by whoever drops the node's
+// last pin (usually completeOne itself, on the fast path).
 func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec, worker int) *Task {
 	t := rt.alloc.Get(worker)
 	t.rt = rt
@@ -211,10 +287,11 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 	t.sc = parent.sc
 	t.alive.Store(1)
 	t.node.Payload = t
+	t.node.Pin()
 	if len(accs) > 0 {
-		t.node.Accesses = make([]deps.Access, len(accs))
+		dst := t.node.InitAccesses(len(accs))
 		for i := range accs {
-			t.node.Accesses[i].Init(&t.node, accs[i])
+			dst[i].Init(&t.node, accs[i])
 		}
 	}
 	return t
@@ -224,7 +301,7 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 // ready (and is scheduled) as soon as its accesses allow.
 func (rt *Runtime) register(parent *Task, t *Task, worker int) {
 	parent.alive.Add(1)
-	rt.live.Add(1)
+	rt.live.Add(worker, 1)
 	// The tracer is nil-receiver-safe (a nil *trace.Tracer no-ops every
 	// method), so emission sites call it unconditionally.
 	rt.tracer.Emit(worker, trace.KTaskCreate, 0)
@@ -254,11 +331,15 @@ func (rt *Runtime) workerLoop(id int) {
 		if t != nil {
 			rt.tracer.EmitTS(id, trace.KSchedEnter, 0, t0)
 			rt.tracer.Emit(id, trace.KSchedLeave, 0)
-			rt.execute(t, id)
+			// Run the task and then any chain of bypassed successors it
+			// releases, without returning to the scheduler in between.
+			for t != nil {
+				t = rt.execute(t, id)
+			}
 			i = 0
 			continue
 		}
-		if rt.stopping.Load() && rt.live.Load() == 0 {
+		if rt.stopping.Load() && rt.live.Sum() == 0 {
 			return
 		}
 		spinOrYield(i)
@@ -266,7 +347,10 @@ func (rt *Runtime) workerLoop(id int) {
 }
 
 // execute runs one ready task to completion on worker id: commutative
-// token acquisition, body, dependency release, completion cascade.
+// token acquisition, body, dependency release, completion cascade. It
+// returns the bypassed immediate successor, if the dependency release
+// readied exactly one eligible task on this worker: the caller's loop
+// executes it next without a scheduler round-trip.
 //
 // If the task's scope has been cancelled (caller context done, or an
 // earlier error under FailFast), the body is skipped entirely — but the
@@ -275,13 +359,13 @@ func (rt *Runtime) workerLoop(id int) {
 // reaches zero, and the task shell is recycled. This is what lets a
 // cancelled submission unwind an arbitrarily deep ready graph without
 // executing it.
-func (rt *Runtime) execute(t *Task, id int) {
+func (rt *Runtime) execute(t *Task, id int) *Task {
 	cause := t.sc.abortCause()
 	if cause == nil && t.node.HasCommutative() && !t.node.TryAcquireCommutative() {
 		// Lost the token race: re-enqueue and let the worker move on.
 		rt.sched.Add(t, id)
 		runtime.Gosched()
-		return
+		return nil
 	}
 	if cause != nil {
 		// Drained: record the skip on the task's handle, if it has one.
@@ -297,26 +381,45 @@ func (rt *Runtime) execute(t *Task, id int) {
 		t.node.ReleaseCommutative()
 	}
 
+	// Arm the bypass slot for the duration of the dependency release:
+	// the ready callback parks the first eligible successor here. The
+	// slot is consumed before completeOne so a recycled shell can never
+	// alias the parked task.
+	bs := &rt.bypass[id]
+	bs.armed = true
 	t0 := rt.tracer.Now()
 	rt.deps.Unregister(&t.node, id)
 	rt.tracer.EmitTS(id, trace.KDepUnregister, uint64(rt.tracer.Now()-t0), t0)
+	bs.armed = false
+	next := bs.next
+	bs.next = nil
 	rt.completeOne(t, id)
+	return next
 }
 
 // runBody invokes the task body with panic recovery: a panicking body
 // fails the task with a *PanicError instead of killing the worker, and
 // execution (commutative release, dependency release, completion)
 // continues as if the body had returned that error.
+//
+// The Ctx is the worker's reusable instance, so it never escapes to the
+// heap; bodies only observe it while they run (an API guarantee). The
+// task field is saved and restored around the body because taskwait
+// helping nests execute — the inner body borrows the slot and the
+// outer body must see its own task again afterwards.
 func (rt *Runtime) runBody(t *Task, id int) {
-	ctx := Ctx{rt: rt, worker: id, task: t}
+	c := &rt.wctx[id].ctx
+	prev := c.task
+	c.task = t
 	defer func() {
+		c.task = prev
 		if r := recover(); r != nil {
 			t.fail(&PanicError{Value: r, Stack: debug.Stack()})
 		}
 	}()
 	switch {
 	case t.fn != nil:
-		v, err := t.fn(&ctx)
+		v, err := t.fn(c)
 		if t.handle != nil {
 			t.handle.val = v
 		}
@@ -324,20 +427,28 @@ func (rt *Runtime) runBody(t *Task, id int) {
 			t.fail(err)
 		}
 	case t.body != nil:
-		t.body(&ctx)
+		t.body(c)
 	}
 }
 
 // completeOne releases the body guard of t and cascades full completions
-// up the ancestor chain. Fully completed tasks are recycled; their
-// accesses are left to the garbage collector (see Task.reset). Handles
-// are closed here — full completion is when a Future's result becomes
-// observable — and scope-owning roots fold their scope's aggregate
-// error into the handle and release the scope's context registration.
+// up the ancestor chain. Handles are closed here — full completion is
+// when a Future's result becomes observable — and scope-owning roots
+// fold their scope's aggregate error into the handle and release the
+// scope's context registration.
+//
+// Shell recycling is gated by the node's pin count: dropping the
+// completion guard recycles immediately when the dependency system
+// holds no further references to the task's access storage (the fast
+// path — exclusive-access chains release during their own Unregister).
+// Otherwise the shell stays out of the pool until the wait-free
+// system's quiescence callback fires (early-forwarded readers, chain
+// tails still registered in a live domain), which is what makes reusing
+// the inline access array safe; see DESIGN.md.
 func (rt *Runtime) completeOne(t *Task, id int) {
 	for t != nil && t != &rt.global && t.alive.Add(-1) == 0 {
 		parent := t.parent
-		rt.live.Add(-1)
+		rt.live.Add(id, -1)
 		if t.handle != nil {
 			if t.ownsScope {
 				if agg := t.sc.err(); agg != nil {
@@ -346,8 +457,11 @@ func (rt *Runtime) completeOne(t *Task, id int) {
 			}
 			close(t.handle.done)
 		}
-		t.reset()
-		rt.alloc.Put(id, t)
+		t.resetBody()
+		if t.node.Unpin() == 0 {
+			t.node.Reset()
+			rt.alloc.Put(id, t)
+		}
 		t = parent
 	}
 }
@@ -355,12 +469,23 @@ func (rt *Runtime) completeOne(t *Task, id int) {
 // maybeInjectNoise stalls the serving worker once, after the configured
 // number of serves, emulating a kernel interrupt preempting the DTLock
 // owner (Figure 11). The stall interval is logged as a kernel event.
+//
+// The guards come before any counting so the common cases pay nothing:
+// runs without noise configured return on the config check, and once
+// the one-shot has fired every subsequent serve returns on the
+// noiseDone load instead of bumping a counter forever. While armed,
+// the serve count is sharded per worker; the threshold is a >= test on
+// the sum (concurrent serves may overshoot the exact value by a few)
+// with the CAS keeping the stall exactly-once. Serve/drain events only
+// ever fire on the current DTLock owner, so Add and Sum here are
+// owner-serialized — the Sum walk is not a concurrent hot-line scan.
 func (rt *Runtime) maybeInjectNoise(owner int) {
 	n := rt.cfg.Noise
 	if n.AfterServes <= 0 || n.Duration <= 0 || rt.noiseDone.Load() {
 		return
 	}
-	if rt.serveCount.Add(1) != int64(n.AfterServes) || !rt.noiseDone.CompareAndSwap(false, true) {
+	rt.serves.Add(owner, 1)
+	if rt.serves.Sum() < int64(n.AfterServes) || !rt.noiseDone.CompareAndSwap(false, true) {
 		return
 	}
 	start := rt.tracer.Now()
@@ -381,8 +506,10 @@ func (rt *Runtime) Close() {
 }
 
 // LiveTasks returns the number of tasks created but not yet fully
-// completed (diagnostics and tests).
-func (rt *Runtime) LiveTasks() int64 { return rt.live.Load() }
+// completed (diagnostics and tests). The underlying counter is sharded:
+// the value is exact once submitters and workers are quiescent, which
+// is when the tests that assert on it read it.
+func (rt *Runtime) LiveTasks() int64 { return rt.live.Sum() }
 
 // spinOrYield performs bounded busy-waiting before yielding to the Go
 // scheduler, keeping oversubscribed worker counts live on small hosts.

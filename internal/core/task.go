@@ -38,12 +38,13 @@ type Task struct {
 	alive atomic.Int64
 }
 
-// reset prepares a recycled Task shell for reuse. The accesses slice is
-// deliberately NOT recycled: successor pointers of the dependency chains
-// may still reference it, so its lifetime is left to the garbage
-// collector while the Task shell itself is reused (see DESIGN.md).
-func (t *Task) reset() {
-	t.node.Reset()
+// resetBody drops the task-level references — closure, scope, handle,
+// parent — at full completion. It runs unconditionally in completeOne,
+// even when the node's access storage is still pinned (e.g. the last
+// root per address stays a tail of the never-unregistered global
+// domain), so a retained shell never keeps a body closure, error
+// scope or Future handle alive.
+func (t *Task) resetBody() {
 	t.body = nil
 	t.fn = nil
 	t.parent = nil
@@ -52,6 +53,17 @@ func (t *Task) reset() {
 	t.handle = nil
 	t.ownsScope = false
 	t.alive.Store(0)
+}
+
+// reset fully prepares a recycled Task shell for reuse. It must only
+// run once the node's access storage is quiescent (pin count zero):
+// small access sets live inline in the shell and are reused with it,
+// while an overflow slice (more than deps.InlineAccessCap accesses) is
+// abandoned to the garbage collector, since dependency-chain pointers
+// into it are not tracked beyond the pin protocol (see DESIGN.md).
+func (t *Task) reset() {
+	t.node.Reset()
+	t.resetBody()
 }
 
 // fail records err as the task's outcome: on the task's handle (first
@@ -128,7 +140,11 @@ func (c *Ctx) Taskwait() {
 	rt.deps.CloseDomain(&t.node, c.worker)
 	for i := 0; t.alive.Load() > 1; i++ {
 		if other := rt.sched.TryGet(c.worker); other != nil {
-			rt.execute(other, c.worker)
+			// Execute the task and any bypassed successor chain it
+			// releases; helping with ready work is the point of the loop.
+			for other != nil {
+				other = rt.execute(other, c.worker)
+			}
 			i = 0
 			continue
 		}

@@ -113,6 +113,22 @@ func (a *Access) Init(n *Node, s AccessSpec) {
 	a.lentry = nil
 }
 
+// clearRefs drops the pointer-bearing fields of a quiesced access so a
+// pooled task shell does not retain dead dependency-graph structures
+// (reduction groups and their privatized buffers, chain links, locking
+// chains) while it sits in the allocator's free list. Only called from
+// Node.Reset, after the pin count guarantees no concurrent reader.
+func (a *Access) clearRefs() {
+	a.addr = nil
+	a.node = nil
+	a.succ.Store(nil)
+	a.child.Store(nil)
+	a.parentAccess = nil
+	a.group = nil
+	a.token = nil
+	a.lentry = nil
+}
+
 // Addr returns the dependency address of the access.
 func (a *Access) Addr() unsafe.Pointer { return a.addr }
 

@@ -41,10 +41,16 @@ type lchain struct {
 	parentChain *lchain
 }
 
-// lentry is one access's position in a chain.
+// lentry is one access's position in a chain. It deliberately holds no
+// pointer back to the Access: chains are built from heap-allocated
+// lentries precisely so that nothing in this system dereferences a
+// task's (possibly shell-inlined, recycled) access storage after
+// Register returns — which is why the locking baseline needs none of
+// the wait-free system's pin accounting. The node pointer is only
+// dereferenced through satisfy, which the satisfied flag short-circuits
+// for every entry of a task that has started executing.
 type lentry struct {
 	node      *Node
-	access    *Access
 	typ       AccessType
 	finished  bool
 	satisfied bool
@@ -151,7 +157,7 @@ func (s *Locked) Register(parent, n *Node, worker int) {
 		parentEntry, parentChain := ch.parentEntry, ch.parentChain
 
 		ch.mu.Lock()
-		e := &lentry{node: n, access: a, typ: a.typ, chain: ch,
+		e := &lentry{node: n, typ: a.typ, chain: ch,
 			parentEntry: parentEntry, parentChain: parentChain}
 		e.pendingChildren.Store(1)
 		a.lentry = e

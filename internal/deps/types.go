@@ -118,11 +118,39 @@ type System interface {
 	Name() string
 }
 
+// InlineAccessCap is the number of accesses a Node stores inline,
+// inside the task shell, without a heap allocation. Every workload
+// kernel shipped in internal/workloads declares at most this many
+// accesses per task; larger access sets overflow to a heap slice whose
+// lifetime is left to the garbage collector (see DESIGN.md, "Task
+// lifetime and memory").
+const InlineAccessCap = 4
+
 // Node is the per-task dependency record, embedded in the runtime's Task
 // structure. Payload carries the owning task for the ready callback.
 type Node struct {
 	Payload  any
 	Accesses []Access
+
+	// inline is the allocation-free backing store for small access
+	// sets; InitAccesses points Accesses at it when the count fits.
+	// Because it is embedded in the recycled task shell, its reuse is
+	// gated by the pin count below — unlike the overflow slice, which
+	// is simply abandoned to the GC at reset.
+	inline [InlineAccessCap]Access
+
+	// pins counts outstanding reasons the node's access storage may
+	// still be dereferenced by another thread: the runtime's shell
+	// guard (held from creation to full completion), one per non-alias
+	// access until that access releases, one per access currently
+	// installed as a domain-map chain tail, and one per undelivered
+	// mailbox message targeting an access of this node. The wait-free
+	// system maintains the last three (see waitfree.go); the locking
+	// baseline maintains none, because it never dereferences an Access
+	// after Register returns. The transition to zero means the access
+	// storage is quiescent and the shell — inline array included — can
+	// be recycled.
+	pins atomic.Int32
 
 	// pending counts unsatisfied blocking accesses plus a registration
 	// guard; the transition to zero fires ReadyFn.
@@ -146,8 +174,39 @@ type tailEntry struct {
 	parent *Access
 }
 
-// Reset prepares a recycled Node for reuse by a new task.
+// InitAccesses points n.Accesses at zero-initialized storage for count
+// accesses: the node's inline array when it fits (no allocation), a
+// fresh heap slice otherwise. The caller then Inits each element.
+func (n *Node) InitAccesses(count int) []Access {
+	if count <= InlineAccessCap {
+		n.Accesses = n.inline[:count]
+	} else {
+		n.Accesses = make([]Access, count)
+	}
+	return n.Accesses
+}
+
+// Pin adds one reason the node's access storage must not be recycled.
+func (n *Node) Pin() { n.pins.Add(1) }
+
+// Unpin drops one such reason and returns the remaining count; zero
+// means the storage is quiescent and the shell may be recycled.
+func (n *Node) Unpin() int32 { return n.pins.Add(-1) }
+
+// Reset prepares a recycled Node for reuse by a new task. It must only
+// be called once the node is quiescent (pin count zero): that is what
+// makes clearing the inline accesses safe. Clearing drops their
+// pointer-bearing fields so a pooled shell does not keep dead
+// dependency structures reachable (groups with per-worker slot
+// buffers, locking-baseline chains); the next task's Init rewrites
+// every field anyway. An overflow slice (when Accesses pointed to heap
+// storage) is dropped to the garbage collector wholesale.
 func (n *Node) Reset() {
+	if len(n.Accesses) > 0 && &n.Accesses[0] == &n.inline[0] {
+		for i := range n.Accesses {
+			n.Accesses[i].clearRefs()
+		}
+	}
 	n.Payload = nil
 	n.Accesses = nil
 	n.pending.Store(0)

@@ -13,7 +13,18 @@ type mailbox struct {
 	asm.Mailbox[*Access]
 }
 
-func (mb *mailbox) push(a *Access, f asm.Flags) { mb.Push(a, f) }
+// push enqueues a message and pins the target's node for the message's
+// lifetime: an undelivered message is an outstanding reference to the
+// access, so the access storage (the task shell's inline array) must
+// not be recycled until the delivery — and the evaluation it triggers —
+// has finished. drain takes the matching unpin. Pushers are always in
+// a position where the target is provably alive: they are mid-
+// evaluation of a pinned access, registering under a pinned chain
+// tail, or operating on their own still-guarded task.
+func (mb *mailbox) push(a *Access, f asm.Flags) {
+	a.node.Pin()
+	mb.Push(a, f)
+}
 
 // mbSlot pads each worker's mailbox onto its own cache line.
 type mbSlot struct {
@@ -28,9 +39,10 @@ type mbSlot struct {
 // commutative runs use a tiny per-run mutex off the critical path (see
 // group).
 type WaitFree struct {
-	ready   ReadyFn
-	workers int
-	mbs     []mbSlot
+	ready     ReadyFn
+	quiescent ReadyFn
+	workers   int
+	mbs       []mbSlot
 }
 
 // NewWaitFree returns a wait-free dependency system for the given worker
@@ -41,6 +53,23 @@ func NewWaitFree(ready ReadyFn, workers int) *WaitFree {
 	return &WaitFree{ready: ready, workers: workers, mbs: make([]mbSlot, workers+1)}
 }
 
+// OnQuiescent registers the callback fired when a node's pin count
+// reaches zero from this system's side — all accesses released, no
+// chain-tail references, no undelivered messages — after the owning
+// task had already fully completed. The runtime uses it to recycle the
+// task shell (with its inline access array) back to the allocator.
+// When unset, quiescent nodes are simply left to the garbage collector.
+func (s *WaitFree) OnQuiescent(fn ReadyFn) { s.quiescent = fn }
+
+// unpin drops one storage reference; the holder must not touch the
+// node's accesses after this call. The drop to zero fires the
+// quiescence callback with the calling worker (for allocator routing).
+func (s *WaitFree) unpin(n *Node, worker int) {
+	if n.Unpin() == 0 && s.quiescent != nil {
+		s.quiescent(n, worker)
+	}
+}
+
 // Name implements System.
 func (s *WaitFree) Name() string { return "wait-free" }
 
@@ -48,12 +77,22 @@ func (s *WaitFree) Name() string { return "wait-free" }
 // of parent's domain. The domain map is single-writer (only the thread
 // executing the parent creates its children), so registration itself
 // needs no lock; all cross-thread interaction happens through messages.
+//
+// Pin accounting: every non-alias access pins its node once until it
+// releases (dropped in evaluate at the release transition), and once
+// more while it is the domain-map tail of its chain (dropped below when
+// a later sibling replaces it, or in Unregister when the parent's
+// domain closes for good). Replaced tails are unpinned only after the
+// drain: the linking pushed a flagHasSuccessor message at the old tail,
+// and the tail pin is what keeps it dereferenceable until delivery.
 func (s *WaitFree) Register(parent, n *Node, worker int) {
 	mb := &s.mbs[worker].mb
 	n.pending.Store(1) // registration guard
 	if parent.domain == nil {
 		parent.domain = make(map[unsafe.Pointer]tailEntry, len(n.Accesses))
 	}
+	var replacedArr [InlineAccessCap]*Node
+	replaced := replacedArr[:0]
 	for i := range n.Accesses {
 		a := &n.Accesses[i]
 		if hasEarlierAccess(n, i) {
@@ -62,12 +101,14 @@ func (s *WaitFree) Register(parent, n *Node, worker int) {
 			a.alias = true
 			continue
 		}
+		n.Pin() // released-access pin, dropped at a's release transition
 		tail, ok := parent.domain[a.addr]
 		switch {
 		case ok && tail.group != nil:
 			s.linkAfterGroup(tail, a, mb)
 		case ok:
 			s.linkAfterAccess(tail, a, mb)
+			replaced = append(replaced, tail.access.node)
 		default:
 			tail.parent = findOwnAccess(parent, a.addr)
 			s.linkFresh(tail.parent, a, mb)
@@ -79,9 +120,13 @@ func (s *WaitFree) Register(parent, n *Node, worker int) {
 			parent.domain[a.addr] = tailEntry{group: a.group, parent: tail.parent}
 		} else {
 			parent.domain[a.addr] = tailEntry{access: a, parent: tail.parent}
+			n.Pin() // tail pin, dropped when a stops being the chain tail
 		}
 	}
 	s.drain(mb, worker)
+	for _, rn := range replaced {
+		s.unpin(rn, worker)
+	}
 	n.satisfied(s.ready, worker) // release the registration guard
 }
 
@@ -89,6 +134,12 @@ func (s *WaitFree) Register(parent, n *Node, worker int) {
 // finished flag to every access and release each access's child guard
 // (paper Definition 2.4). Open groups created by the task's children are
 // closed first so trailing reductions combine.
+//
+// The task's body has returned, and children are only ever registered
+// by the thread executing the parent's body, so after this call n's
+// domain map can never be consulted again: the chain-tail pins still
+// held by the current tails (accesses of n's children) are dropped
+// here, after the drain.
 func (s *WaitFree) Unregister(n *Node, worker int) {
 	mb := &s.mbs[worker].mb
 	closeOpenGroups(n, mb)
@@ -103,6 +154,11 @@ func (s *WaitFree) Unregister(n *Node, worker int) {
 		}
 	}
 	s.drain(mb, worker)
+	for _, t := range n.domain {
+		if t.access != nil {
+			s.unpin(t.access.node, worker)
+		}
+	}
 }
 
 // CloseDomain implements System: close open reduction/commutative runs in
@@ -219,7 +275,10 @@ func (s *WaitFree) armAccess(a *Access, chainParent *Access, mb *mailbox) {
 }
 
 // drain delivers queued messages until the mailbox is empty, evaluating
-// each resulting transition (the while loop of paper Fig. 2).
+// each resulting transition (the while loop of paper Fig. 2). Each
+// delivery drops the pin its push took — after the evaluation, so the
+// access stays dereferenceable throughout, even when another worker
+// concurrently completes the access's release transition.
 func (s *WaitFree) drain(mb *mailbox, worker int) {
 	for {
 		m, ok := mb.Pop()
@@ -228,6 +287,7 @@ func (s *WaitFree) drain(mb *mailbox, worker int) {
 		}
 		before, after := m.To.state.Deliver(m.Bits)
 		s.evaluate(m.To, before, after, mb, worker)
+		s.unpin(m.To.node, worker)
 	}
 }
 
@@ -255,6 +315,20 @@ func (s *WaitFree) evaluate(a *Access, before, after asm.Flags, mb *mailbox, wor
 				s.childReleased(a.parentAccess, mb)
 			}
 		}
+		// Storage pin: drop it only once no further message can target
+		// this access. A plain reduction member receives nothing after
+		// its own finished+children-done — but the run's head is still
+		// owed the chain predecessor's satisfiability push, and a
+		// commutative member the group's broadcast, so those hold the
+		// pin until the full release conjunction (run members release
+		// eagerly, so finished can long precede the sat flags).
+		memberDone := flagFinished | flagChildrenDone
+		if a.groupHead || a.typ == Commutative {
+			memberDone = flagsReleased
+		}
+		if asm.Transitioned(before, after, memberDone) {
+			s.unpin(a.node, worker)
+		}
 		return
 	}
 
@@ -272,7 +346,11 @@ func (s *WaitFree) evaluate(a *Access, before, after asm.Flags, mb *mailbox, wor
 
 	// Early read forwarding: consecutive reads run concurrently, so read
 	// satisfiability flows to a read successor before this access ends.
-	if a.succReadCompat && asm.Transitioned(before, after, flagReadSat|flagHasSuccessor) {
+	// succReadCompat is a plain field written by the registrar just
+	// before it delivers flagHasSuccessor, so it must only be read after
+	// the transition check observes that flag (the atomic state word
+	// orders the publication); keep the Transitioned operand first.
+	if asm.Transitioned(before, after, flagReadSat|flagHasSuccessor) && a.succReadCompat {
 		mb.push(a.succ.Load(), flagReadSat)
 	}
 
@@ -294,6 +372,12 @@ func (s *WaitFree) evaluate(a *Access, before, after asm.Flags, mb *mailbox, wor
 	}
 	if asm.Transitioned(before, after, flagsReleased|flagHasSuccessor) {
 		mb.push(a.succ.Load(), flagReadSat|flagWriteSat)
+	}
+	if asm.Transitioned(before, after, flagsReleased) {
+		// The access released: drop its storage pin, after every use of
+		// a above. A later flagHasSuccessor delivery may still read
+		// a.succ, but only from a registrar that holds the tail pin.
+		s.unpin(a.node, worker)
 	}
 }
 

@@ -17,6 +17,7 @@ package repro_test
 // cmd/repro -scale full for the paper-sized sweeps.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -142,3 +143,13 @@ func BenchmarkSpawnAllocs(b *testing.B) { bench.SpawnAllocs(b) }
 // BenchmarkDependencyChainThroughput measures chained (serialized) task
 // flow: dependency bookkeeping dominates, no parallelism available.
 func BenchmarkDependencyChainThroughput(b *testing.B) { bench.DependencyChainThroughput(b) }
+
+// BenchmarkConcurrentSubmit measures root-submission throughput with
+// 1/4/16/64 concurrently submitting goroutines on independent cells:
+// the sharded root domain's scaling benchmark (PR 3 acceptance compares
+// it against the serialized RootShards=1 baseline; see BENCH_PR3.json).
+func BenchmarkConcurrentSubmit(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("%dsubmitters", n), bench.ConcurrentSubmit(n))
+	}
+}

@@ -8,6 +8,8 @@
 package bench
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -166,6 +168,78 @@ func DependencyChainThroughput(b *testing.B) {
 	}
 }
 
+// RootShards, when non-zero, overrides Config.RootShards for the
+// concurrent-submission benchmarks. cmd/benchjson sets it to 1 to
+// record the serialized-registration (regMu-equivalent) baseline the
+// sharded root domain is measured against.
+var RootShards int
+
+// submitCell pads each submitter's dependency cell onto its own cache
+// line so the measured contention is the submission path's, not false
+// sharing between the cells themselves.
+type submitCell struct {
+	v float64
+	_ [56]byte
+}
+
+// ConcurrentSubmit returns a benchmark of root-submission throughput
+// with the given number of concurrently submitting goroutines. Each
+// submitter chains root tasks on its own (padded) cell, so submissions
+// are independent across submitters: with the sharded root domain they
+// register in parallel, while RootShards=1 reproduces the serialized
+// baseline where every submitter fights one registration lock. A
+// bounded window of outstanding handles keeps the live-task population
+// at steady state.
+func ConcurrentSubmit(submitters int) func(*testing.B) {
+	return func(b *testing.B) {
+		// Simulate one core per submitter (plus the workers), exactly as
+		// benchWorkers simulates cores: on small hosts GOMAXPROCS=NumCPU
+		// would serialize the submitters at the Go scheduler and no
+		// registration path could ever be contended, hiding the effect
+		// under measurement.
+		procs := submitters + benchWorkers
+		if procs > 24 {
+			procs = 24
+		}
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		cfg := core.ConfigFor(core.VariantOptimized, benchWorkers, benchNUMA)
+		cfg.RootShards = RootShards
+		rt := core.New(cfg)
+		defer rt.Close()
+		cells := make([]submitCell, submitters)
+		fn := func(*core.Ctx) (any, error) { return nil, nil }
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for s := 0; s < submitters; s++ {
+			n := b.N / submitters
+			if s < b.N%submitters {
+				n++
+			}
+			wg.Add(1)
+			go func(s, n int) {
+				defer wg.Done()
+				const window = 64
+				var hs [window]*core.Handle
+				cell := &cells[s].v
+				for i := 0; i < n; i++ {
+					h := rt.Submit(fn, core.InOut(cell))
+					if old := hs[i%window]; old != nil {
+						old.Wait(nil)
+					}
+					hs[i%window] = h
+				}
+				for _, h := range hs {
+					if h != nil {
+						h.Wait(nil)
+					}
+				}
+			}(s, n)
+		}
+		wg.Wait()
+	}
+}
+
 // Tier2 is the benchmark set cmd/benchjson snapshots into BENCH_*.json:
 // the perf trajectory future PRs compare against.
 var Tier2 = []struct {
@@ -177,4 +251,8 @@ var Tier2 = []struct {
 	{"FanOut", FanOut},
 	{"SpawnAllocs", SpawnAllocs},
 	{"DependencyChainThroughput", DependencyChainThroughput},
+	{"ConcurrentSubmit-1submitters", ConcurrentSubmit(1)},
+	{"ConcurrentSubmit-4submitters", ConcurrentSubmit(4)},
+	{"ConcurrentSubmit-16submitters", ConcurrentSubmit(16)},
+	{"ConcurrentSubmit-64submitters", ConcurrentSubmit(64)},
 }

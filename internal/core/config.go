@@ -8,6 +8,8 @@ package core
 import (
 	"runtime"
 	"time"
+
+	"repro/internal/deps"
 )
 
 // SchedulerKind selects a scheduler design (paper §3 and baselines).
@@ -82,6 +84,15 @@ type Config struct {
 	// SPSCCap is the capacity of each insertion queue (0: 256).
 	SPSCCap int
 
+	// RootShards is the number of shards of the root dependency domain:
+	// concurrent Submit/Run callers whose accesses hash to different
+	// shards register in parallel, each shard's registration staying
+	// single-writer behind its own lock. Rounded up to a power of two
+	// and clamped to deps.MaxRootShards. 0 selects a default scaled to
+	// the worker count; 1 reproduces the former fully-serialized
+	// (regMu-style) root registration.
+	RootShards int
+
 	Scheduler SchedulerKind
 	Deps      DepsKind
 	Alloc     AllocKind
@@ -116,6 +127,18 @@ func (c Config) withDefaults() Config {
 	if c.SPSCCap <= 0 {
 		c.SPSCCap = 256
 	}
+	if c.RootShards <= 0 {
+		// Enough shards that submitter counts well above the worker
+		// count still mostly avoid lock collisions, capped by the
+		// lease bitmask width.
+		c.RootShards = 4 * c.Workers
+		if c.RootShards < 16 {
+			c.RootShards = 16
+		}
+	}
+	// One shared normalization with NewRootDomain, so introspection and
+	// worker-slot sizing always match the domain actually built.
+	c.RootShards = deps.NormalizeShards(c.RootShards)
 	return c
 }
 

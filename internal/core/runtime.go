@@ -58,9 +58,20 @@ type Runtime struct {
 	alloc  alloc.Allocator[Task]
 	tracer *trace.Tracer
 
-	// global is the root dependency domain: the parent of every task
-	// submitted through Run.
+	// global is the completion parent of every root task submitted
+	// through Run/Submit: it counts live roots and never completes.
+	// Root dependency chains do not live under it — they live in the
+	// sharded rootDom, so unrelated submissions register in parallel.
 	global Task
+
+	// rootDom is the sharded root dependency domain. A submission
+	// leases the shards its access addresses hash to (ascending order,
+	// so cross-shard submissions cannot deadlock); the lease's lowest
+	// shard doubles as the submitter slot, the worker index
+	// Workers+shard whose thread-local structures (dependency mailbox,
+	// allocator free list, scheduler insertion, trace buffer) the
+	// lease holder uses exclusively.
+	rootDom *deps.RootDomain
 
 	// live counts created-but-not-fully-completed tasks, sharded per
 	// worker so the two hottest lifecycle events (create, complete)
@@ -73,17 +84,10 @@ type Runtime struct {
 
 	// bypass and wctx are per-worker hot-path state (successor bypass
 	// slots and reusable execution contexts), indexed by worker; bypass
-	// has an extra slot for the external submitter index so the ready
-	// callback can index it unconditionally.
+	// has extra slots for the submitter indices so the ready callback
+	// can index it unconditionally (submitter slots are never armed).
 	bypass []bypassSlot
 	wctx   []ctxSlot
-
-	// regMu serializes root-task registration into the global domain
-	// (sibling registration is single-writer per domain, as in Nanos6).
-	// It is held only across registration, so roots submitted from
-	// different goroutines — and Submit calls issued while a Run is in
-	// flight — overlap in execution.
-	regMu sync.Mutex
 
 	// noise state for the Figure 11 experiment. serves is sharded for
 	// the same reason as live; it is only touched while the experiment
@@ -96,15 +100,23 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{cfg: cfg}
-	rt.live = counter.NewSharded(cfg.Workers + 1)
-	rt.serves = counter.NewSharded(cfg.Workers + 1)
-	rt.bypass = make([]bypassSlot, cfg.Workers+1)
+	rt.rootDom = deps.NewRootDomain(cfg.RootShards)
+	// The thread-index space every per-"worker" structure is sized for:
+	// worker goroutines use [0, Workers), root submitters use
+	// [Workers, Workers+RootShards) — one slot per root shard, made
+	// exclusive by the shard's registration lock. Constructors below
+	// that take a worker count and add one slot themselves receive
+	// slots-1.
+	slots := cfg.Workers + cfg.RootShards
+	rt.live = counter.NewSharded(slots)
+	rt.serves = counter.NewSharded(slots)
+	rt.bypass = make([]bypassSlot, slots)
 	rt.wctx = make([]ctxSlot, cfg.Workers)
 	for i := range rt.wctx {
 		rt.wctx[i].ctx = Ctx{rt: rt, worker: i}
 	}
 	if cfg.TraceCapacity > 0 {
-		rt.tracer = trace.New(cfg.Workers, cfg.TraceCapacity)
+		rt.tracer = trace.New(slots-1, cfg.TraceCapacity)
 	}
 
 	// ready routes a now-runnable task to the scheduler — unless the
@@ -127,7 +139,7 @@ func New(cfg Config) *Runtime {
 	}
 	switch cfg.Deps {
 	case DepsWaitFree:
-		wf := deps.NewWaitFree(ready, cfg.Workers)
+		wf := deps.NewWaitFree(ready, slots-1)
 		// Recycle task shells whose access storage quiesced only after
 		// the task had fully completed (e.g. early-forwarded readers
 		// that finish before their predecessor releases to them).
@@ -138,7 +150,7 @@ func New(cfg Config) *Runtime {
 		})
 		rt.deps = wf
 	case DepsLocked:
-		rt.deps = deps.NewLocked(ready, cfg.Workers)
+		rt.deps = deps.NewLocked(ready, slots-1)
 	default:
 		panic(fmt.Sprintf("core: unknown deps kind %d", cfg.Deps))
 	}
@@ -169,20 +181,20 @@ func New(cfg Config) *Runtime {
 	}
 	switch cfg.Scheduler {
 	case SchedSyncDTLock:
-		rt.sched = sched.NewSync(policy, cfg.Workers, cfg.NUMANodes, cfg.SPSCCap, hooks)
+		rt.sched = sched.NewSync(policy, cfg.Workers, cfg.RootShards, cfg.NUMANodes, cfg.SPSCCap, hooks)
 	case SchedCentralPTLock:
-		rt.sched = sched.NewCentral(policy, cfg.Workers)
+		rt.sched = sched.NewCentral(policy, slots-1)
 	case SchedBlocking:
 		rt.sched = sched.NewBlocking(policy)
 	case SchedWorkStealing:
-		rt.sched = sched.NewWorkStealing[*Task](cfg.Workers)
+		rt.sched = sched.NewWorkStealing[*Task](slots - 1)
 	default:
 		panic(fmt.Sprintf("core: unknown scheduler kind %d", cfg.Scheduler))
 	}
 
 	switch cfg.Alloc {
 	case AllocPooled:
-		rt.alloc = alloc.NewPooled[Task](cfg.Workers, 64)
+		rt.alloc = alloc.NewPooled[Task](slots-1, 64)
 	case AllocSerial:
 		rt.alloc = alloc.NewSerial[Task]()
 	default:
@@ -216,8 +228,9 @@ func (rt *Runtime) DepsName() string { return rt.deps.Name() }
 // have fully completed. It returns the scope's aggregate error: task
 // errors (from GoFn bodies or recovered panics) joined per the
 // configured ErrorPolicy, or nil when every task succeeded. Run may be
-// called repeatedly, from multiple goroutines; root registrations are
-// serialized but their execution overlaps.
+// called repeatedly, from multiple goroutines; submissions whose
+// accesses hash to different root-domain shards register in parallel,
+// and same-shard registrations serialize only on that shard's lock.
 func (rt *Runtime) Run(body func(*Ctx), accs ...deps.AccessSpec) error {
 	return rt.RunCtx(context.Background(), body, accs...)
 }
@@ -254,20 +267,26 @@ func (rt *Runtime) SubmitCtx(ctx context.Context, fn func(*Ctx) (any, error), ac
 	return rt.submitRoot(ctx, nil, fn, accs)
 }
 
-// submitRoot creates one root task under the global domain with a fresh
-// error/cancellation scope and registers it.
+// submitRoot creates one root task with a fresh (pooled)
+// error/cancellation scope and registers it into the sharded root
+// domain. The lease taken here locks every shard the access addresses
+// hash to, in ascending order; its lowest shard selects the submitter
+// slot whose thread-local structures (allocator free list, dependency
+// mailbox, scheduler insertion index, trace buffer) this registration
+// uses exclusively. Submissions on disjoint shard sets run this whole
+// path in parallel.
 func (rt *Runtime) submitRoot(ctx context.Context, body func(*Ctx), fn func(*Ctx) (any, error), accs []deps.AccessSpec) *Handle {
 	sc := newScope(ctx, rt.cfg.OnError)
 	h := newHandle()
-	external := rt.cfg.Workers
-	rt.regMu.Lock()
-	t := rt.newTask(&rt.global, body, accs, external)
+	lease := rt.rootDom.Acquire(accs)
+	slot := rt.cfg.Workers + lease.Slot()
+	t := rt.newTask(&rt.global, body, accs, slot)
 	t.fn = fn
 	t.sc = sc
 	t.handle = h
 	t.ownsScope = true
-	rt.register(&rt.global, t, external)
-	rt.regMu.Unlock()
+	rt.registerWith(&rt.global, rt.rootDom, t, slot)
+	lease.Release()
 	return h
 }
 
@@ -300,13 +319,25 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 // register links the task into the dependency graph; the task becomes
 // ready (and is scheduled) as soon as its accesses allow.
 func (rt *Runtime) register(parent *Task, t *Task, worker int) {
+	rt.registerWith(parent, nil, t, worker)
+}
+
+// registerWith is the shared registration accounting: parent liveness,
+// the sharded live counter, trace emission and the dependency-system
+// call — against parent's own domain for nested tasks, or the sharded
+// root domain when d is non-nil (mirroring deps' register shape).
+func (rt *Runtime) registerWith(parent *Task, d *deps.RootDomain, t *Task, worker int) {
 	parent.alive.Add(1)
 	rt.live.Add(worker, 1)
 	// The tracer is nil-receiver-safe (a nil *trace.Tracer no-ops every
 	// method), so emission sites call it unconditionally.
 	rt.tracer.Emit(worker, trace.KTaskCreate, 0)
 	t0 := rt.tracer.Now()
-	rt.deps.Register(&parent.node, &t.node, worker)
+	if d != nil {
+		rt.deps.RegisterRoot(d, &t.node, worker)
+	} else {
+		rt.deps.Register(&parent.node, &t.node, worker)
+	}
 	rt.tracer.EmitTS(worker, trace.KDepRegister, uint64(rt.tracer.Now()-t0), t0)
 }
 
@@ -452,10 +483,24 @@ func (rt *Runtime) completeOne(t *Task, id int) {
 		if t.handle != nil {
 			if t.ownsScope {
 				if agg := t.sc.err(); agg != nil {
-					t.handle.err = agg
+					if sk, ok := t.handle.err.(*skipError); ok {
+						// The root itself was drained: keep the
+						// ErrTaskSkipped marker and carry the scope's
+						// aggregate (which wraps the cancellation
+						// cause) as its cause.
+						sk.cause = agg
+					} else {
+						t.handle.err = agg
+					}
 				}
 			}
 			close(t.handle.done)
+		}
+		if t.ownsScope {
+			// The root completes last in its scope: every descendant
+			// already dropped its scope reference on completion, so the
+			// scope can be recycled for a future submission.
+			t.sc.release()
 		}
 		t.resetBody()
 		if t.node.Unpin() == 0 {

@@ -91,16 +91,44 @@ type scope struct {
 	errs []error
 }
 
-// newScope builds the scope for one root submission. Context
-// cancellation is observed synchronously by abortCause — the context
-// package closes Done before a CancelFunc returns, so every task
-// executed after cancellation drains deterministically.
+// scopePool recycles scopes across root submissions: a scope's
+// lifetime ends strictly before its root task's full completion
+// releases it (every descendant dropped its reference when it
+// completed, and the root completes last), so submitRoot can reuse
+// shells without any pin protocol. This keeps a root submit
+// allocation-light together with the pooled task shell.
+var scopePool = sync.Pool{New: func() any { return new(scope) }}
+
+// newScope builds (or recycles) the scope for one root submission.
+// Context cancellation is observed synchronously by abortCause — the
+// context package closes Done before a CancelFunc returns, so every
+// task executed after cancellation drains deterministically.
 func newScope(ctx context.Context, policy ErrorPolicy) *scope {
-	sc := &scope{ctx: ctx, policy: policy}
+	sc := scopePool.Get().(*scope)
+	sc.ctx = ctx
+	sc.policy = policy
 	if ctx != nil {
 		sc.done = ctx.Done()
 	}
 	return sc
+}
+
+// release returns the scope to the pool. It must only be called once no
+// task of the submission can touch the scope again: completeOne calls
+// it at the scope-owning root's full completion, after folding the
+// aggregate error into the handle.
+func (sc *scope) release() {
+	sc.ctx = nil
+	sc.done = nil
+	sc.policy = FailFast
+	sc.aborted.Store(false)
+	sc.ctxAborted.Store(false)
+	sc.cause.Store(nil)
+	sc.mu.Lock()
+	clear(sc.errs) // drop the error references, keep the capacity
+	sc.errs = sc.errs[:0]
+	sc.mu.Unlock()
+	scopePool.Put(sc)
 }
 
 // fail records one task failure and, under FailFast, cancels the scope

@@ -134,10 +134,21 @@ type ldefer struct {
 
 // Register implements System.
 func (s *Locked) Register(parent, n *Node, worker int) {
+	s.register(parent, nil, n, worker)
+}
+
+// RegisterRoot implements System: Register with the chain map selected
+// per access by the address's shard. The caller's lease keeps each
+// shard's ldomain single-writer; root chains have no parent entry.
+func (s *Locked) RegisterRoot(d *RootDomain, n *Node, worker int) {
+	s.register(nil, d, n, worker)
+}
+
+// register is the shared registration loop: each access links into
+// parent's domain (nested tasks) or, when d is non-nil, into the shard
+// of its own address (root tasks).
+func (s *Locked) register(parent *Node, d *RootDomain, n *Node, worker int) {
 	n.pending.Store(1)
-	if parent.ldomain == nil {
-		parent.ldomain = make(map[unsafe.Pointer]*lchain, len(n.Accesses))
-	}
 	var post ldefer
 	for i := range n.Accesses {
 		a := &n.Accesses[i]
@@ -145,46 +156,60 @@ func (s *Locked) Register(parent, n *Node, worker int) {
 			a.alias = true
 			continue
 		}
-		ch, ok := parent.ldomain[a.addr]
-		if !ok {
-			ch = &lchain{}
-			parent.ldomain[a.addr] = ch
-			if pa := findOwnAccess(parent, a.addr); pa != nil && pa.lentry != nil {
-				ch.parentEntry = pa.lentry
-				ch.parentChain = pa.lentry.chain
-			}
+		owner := parent
+		if d != nil {
+			owner = d.shardNode(a.addr)
 		}
-		parentEntry, parentChain := ch.parentEntry, ch.parentChain
-
-		ch.mu.Lock()
-		e := &lentry{node: n, typ: a.typ, chain: ch,
-			parentEntry: parentEntry, parentChain: parentChain}
-		e.pendingChildren.Store(1)
-		a.lentry = e
-		if parentEntry != nil {
-			parentEntry.pendingChildren.Add(1)
-		}
-		switch a.typ {
-		case Reduction:
-			e.run = s.runFor(ch, a)
-			e.satisfied = true // eager, privatized
-		case Commutative:
-			e.run = s.runFor(ch, a)
-			a.token = &e.run.token
-			n.pending.Add(1)
-		default:
-			if a.weak {
-				e.satisfied = true // weak: never gates execution
-			} else {
-				n.pending.Add(1)
-			}
-		}
-		ch.entries = append(ch.entries, e)
-		s.rescan(ch, &post, worker)
-		ch.mu.Unlock()
+		s.linkInto(owner, a, &post, worker)
 	}
 	s.apply(&post, worker)
 	n.satisfied(s.ready, worker)
+}
+
+// linkInto appends one non-alias access to its chain in owner's domain
+// map. The caller must be the single writer of owner's ldomain.
+func (s *Locked) linkInto(owner *Node, a *Access, post *ldefer, worker int) {
+	n := a.node
+	if owner.ldomain == nil {
+		owner.ldomain = make(map[unsafe.Pointer]*lchain, InlineAccessCap)
+	}
+	ch, ok := owner.ldomain[a.addr]
+	if !ok {
+		ch = &lchain{}
+		owner.ldomain[a.addr] = ch
+		if pa := findOwnAccess(owner, a.addr); pa != nil && pa.lentry != nil {
+			ch.parentEntry = pa.lentry
+			ch.parentChain = pa.lentry.chain
+		}
+	}
+	parentEntry, parentChain := ch.parentEntry, ch.parentChain
+
+	ch.mu.Lock()
+	e := &lentry{node: n, typ: a.typ, chain: ch,
+		parentEntry: parentEntry, parentChain: parentChain}
+	e.pendingChildren.Store(1)
+	a.lentry = e
+	if parentEntry != nil {
+		parentEntry.pendingChildren.Add(1)
+	}
+	switch a.typ {
+	case Reduction:
+		e.run = s.runFor(ch, a)
+		e.satisfied = true // eager, privatized
+	case Commutative:
+		e.run = s.runFor(ch, a)
+		a.token = &e.run.token
+		n.pending.Add(1)
+	default:
+		if a.weak {
+			e.satisfied = true // weak: never gates execution
+		} else {
+			n.pending.Add(1)
+		}
+	}
+	ch.entries = append(ch.entries, e)
+	s.rescan(ch, post, worker)
+	ch.mu.Unlock()
 }
 
 // runFor joins the chain's trailing open run if compatible, else starts a

@@ -1,0 +1,201 @@
+package deps
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestNewRootDomainRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+		{64, 64}, {65, 64}, {1 << 20, 64},
+	} {
+		if got := NewRootDomain(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewRootDomain(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRootDomainShardOfInRange pins the hash→shard mapping to the shard
+// range for a spread of addresses and shard counts.
+func TestRootDomainShardOfInRange(t *testing.T) {
+	cells := make([]float64, 1024)
+	for _, n := range []int{1, 2, 8, 64} {
+		d := NewRootDomain(n)
+		used := map[int]bool{}
+		for i := range cells {
+			s := d.shardOf(unsafe.Pointer(&cells[i]))
+			if s < 0 || s >= d.Shards() {
+				t.Fatalf("shards=%d: shardOf out of range: %d", n, s)
+			}
+			used[s] = true
+		}
+		// With 1024 distinct addresses every shard of a 64-way domain
+		// should see traffic; a grossly skewed hash would fail this.
+		if n == 64 && len(used) < 32 {
+			t.Errorf("shards=64: only %d shards used by 1024 addresses", len(used))
+		}
+	}
+}
+
+// TestAcquireLeaseCoversAccesses: a lease must hold exactly the shards
+// of the declared addresses, and Slot must be the lowest held shard.
+func TestAcquireLeaseCoversAccesses(t *testing.T) {
+	d := NewRootDomain(16)
+	var a, b float64
+	accs := []AccessSpec{
+		{Addr: unsafe.Pointer(&a), Type: Write},
+		{Addr: unsafe.Pointer(&b), Type: Read},
+		{Addr: unsafe.Pointer(&a), Type: Read}, // duplicate addr: same shard
+	}
+	l := d.Acquire(accs)
+	wantMask := uint64(1)<<d.shardOf(unsafe.Pointer(&a)) | uint64(1)<<d.shardOf(unsafe.Pointer(&b))
+	if l.mask != wantMask {
+		t.Fatalf("lease mask = %b, want %b", l.mask, wantMask)
+	}
+	if l.Slot() != bits.TrailingZeros64(wantMask) {
+		t.Fatalf("lease slot = %d, want lowest shard %d", l.Slot(), bits.TrailingZeros64(wantMask))
+	}
+	l.Release()
+
+	// Access-less leases rotate and still hold exactly one shard.
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		l := d.Acquire(nil)
+		if bits.OnesCount64(l.mask) != 1 {
+			t.Fatalf("empty-access lease holds %d shards", bits.OnesCount64(l.mask))
+		}
+		seen[l.Slot()] = true
+		l.Release()
+	}
+	if len(seen) < 2 {
+		t.Fatalf("empty-access leases never rotated: %v", seen)
+	}
+}
+
+// TestConcurrentRegisterRoot drives RegisterRoot from many goroutines
+// through proper leases on both systems: same-address submissions must
+// chain (mutual exclusion of the oracle cell), cross-shard access sets
+// must not deadlock, and every task must become ready exactly once.
+func TestConcurrentRegisterRoot(t *testing.T) {
+	const (
+		workers    = 2 // executor goroutines
+		submitters = 6
+		perSub     = 150
+		ncells     = 5
+	)
+	for _, kind := range systems() {
+		t.Run(kind, func(t *testing.T) {
+			d := NewRootDomain(8)
+			slots := workers + d.Shards()
+
+			type rtask struct {
+				node  Node
+				cells []*atomic.Int64
+			}
+			var (
+				rmu   sync.Mutex
+				ready []*rtask
+			)
+			readyFn := func(n *Node, worker int) {
+				tk := n.Payload.(*rtask)
+				rmu.Lock()
+				ready = append(ready, tk)
+				rmu.Unlock()
+			}
+			var sys System
+			if kind == "waitfree" {
+				sys = NewWaitFree(readyFn, slots-1)
+			} else {
+				sys = NewLocked(readyFn, slots-1)
+			}
+
+			cells := make([]struct {
+				data float64
+				busy atomic.Int64
+				runs atomic.Int64
+				_    [40]byte
+			}, ncells)
+
+			var completed atomic.Int64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						rmu.Lock()
+						var tk *rtask
+						if len(ready) > 0 {
+							tk = ready[len(ready)-1]
+							ready = ready[:len(ready)-1]
+						}
+						rmu.Unlock()
+						if tk == nil {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							runtime.Gosched()
+							continue
+						}
+						for _, c := range tk.cells {
+							if c.Add(1) != 1 {
+								t.Error("exclusive root bodies overlap")
+							}
+						}
+						runtime.Gosched()
+						for _, c := range tk.cells {
+							c.Add(-1)
+						}
+						sys.Unregister(&tk.node, w)
+						completed.Add(1)
+					}
+				}(w)
+			}
+
+			var sub sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				sub.Add(1)
+				go func(s int) {
+					defer sub.Done()
+					for i := 0; i < perSub; i++ {
+						c1 := (s + i) % ncells
+						specs := []AccessSpec{{Addr: unsafe.Pointer(&cells[c1].data), Type: ReadWrite}}
+						tk := &rtask{cells: []*atomic.Int64{&cells[c1].busy}}
+						if i%3 == 0 {
+							c2 := (c1 + 1) % ncells
+							specs = append(specs, AccessSpec{Addr: unsafe.Pointer(&cells[c2].data), Type: ReadWrite})
+							tk.cells = append(tk.cells, &cells[c2].busy)
+						}
+						tk.node.Payload = tk
+						dst := tk.node.InitAccesses(len(specs))
+						for j := range specs {
+							dst[j].Init(&tk.node, specs[j])
+						}
+						lease := d.Acquire(specs)
+						sys.RegisterRoot(d, &tk.node, workers+lease.Slot())
+						lease.Release()
+						cells[c1].runs.Add(1)
+					}
+				}(s)
+			}
+			sub.Wait()
+			total := int64(submitters * perSub)
+			for spins := 0; completed.Load() < total; spins++ {
+				if spins > 1<<22 {
+					t.Fatalf("stalled: %d/%d root tasks completed", completed.Load(), total)
+				}
+				runtime.Gosched()
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

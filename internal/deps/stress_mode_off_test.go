@@ -1,0 +1,8 @@
+//go:build !stress
+
+package deps
+
+// stressRounds is the differential-stress iteration count of a regular
+// test run (-short quarters it). The nightly CI job builds with
+// -tags=stress for the long campaign; see stress_mode_on_test.go.
+const stressRounds = 200

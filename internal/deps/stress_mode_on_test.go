@@ -1,0 +1,7 @@
+//go:build stress
+
+package deps
+
+// stressRounds under -tags=stress: the nightly-style long campaign
+// (non-gating in CI; see .github/workflows/ci.yml).
+const stressRounds = 2500

@@ -105,6 +105,13 @@ type System interface {
 	// parent's domain and arms readiness tracking. It must be called
 	// exactly once per task, before the task can run.
 	Register(parent, n *Node, worker int)
+	// RegisterRoot is Register against a sharded root domain: each
+	// access of n joins the chain of its address's shard. The caller
+	// must hold a lease of d covering n's accesses (RootDomain.Acquire)
+	// and pass the lease's submitter-slot worker index, which keeps
+	// per-shard registration single-writer while unrelated root
+	// submissions proceed in parallel on other shards.
+	RegisterRoot(d *RootDomain, n *Node, worker int)
 	// Unregister marks n's task finished and propagates satisfiability
 	// to successor and parent accesses (paper Definition 2.4).
 	Unregister(n *Node, worker int)

@@ -47,8 +47,10 @@ type WaitFree struct {
 
 // NewWaitFree returns a wait-free dependency system for the given worker
 // count. Worker indices passed to the System methods must be in
-// [0, workers]; index workers is reserved for the external (non-worker)
-// thread that submits root tasks.
+// [0, workers] and each index must have at most one concurrent user:
+// the runtime passes its real worker count plus its root-shard count
+// minus one, so the indices above the real workers are submitter slots
+// whose exclusivity the RootDomain leases enforce.
 func NewWaitFree(ready ReadyFn, workers int) *WaitFree {
 	return &WaitFree{ready: ready, workers: workers, mbs: make([]mbSlot, workers+1)}
 }
@@ -86,11 +88,25 @@ func (s *WaitFree) Name() string { return "wait-free" }
 // drain: the linking pushed a flagHasSuccessor message at the old tail,
 // and the tail pin is what keeps it dereferenceable until delivery.
 func (s *WaitFree) Register(parent, n *Node, worker int) {
+	s.register(parent, nil, n, worker)
+}
+
+// RegisterRoot implements System. It is Register with the domain map
+// selected per access: every address chain lives in the shard the
+// address hashes to, and the caller's lease of those shards is what
+// makes each shard's map single-writer. Root chains have no parent
+// access (shard nodes declare no accesses), so fresh chains are born
+// satisfied exactly as chains of the former single global domain were.
+func (s *WaitFree) RegisterRoot(d *RootDomain, n *Node, worker int) {
+	s.register(nil, d, n, worker)
+}
+
+// register is the shared registration loop: each access links into
+// parent's domain (nested tasks) or, when d is non-nil, into the shard
+// of its own address (root tasks).
+func (s *WaitFree) register(parent *Node, d *RootDomain, n *Node, worker int) {
 	mb := &s.mbs[worker].mb
 	n.pending.Store(1) // registration guard
-	if parent.domain == nil {
-		parent.domain = make(map[unsafe.Pointer]tailEntry, len(n.Accesses))
-	}
 	var replacedArr [InlineAccessCap]*Node
 	replaced := replacedArr[:0]
 	for i := range n.Accesses {
@@ -101,26 +117,12 @@ func (s *WaitFree) Register(parent, n *Node, worker int) {
 			a.alias = true
 			continue
 		}
-		n.Pin() // released-access pin, dropped at a's release transition
-		tail, ok := parent.domain[a.addr]
-		switch {
-		case ok && tail.group != nil:
-			s.linkAfterGroup(tail, a, mb)
-		case ok:
-			s.linkAfterAccess(tail, a, mb)
-			replaced = append(replaced, tail.access.node)
-		default:
-			tail.parent = findOwnAccess(parent, a.addr)
-			s.linkFresh(tail.parent, a, mb)
+		owner := parent
+		if d != nil {
+			owner = d.shardNode(a.addr)
 		}
-		if a.alias {
-			continue
-		}
-		if a.group != nil {
-			parent.domain[a.addr] = tailEntry{group: a.group, parent: tail.parent}
-		} else {
-			parent.domain[a.addr] = tailEntry{access: a, parent: tail.parent}
-			n.Pin() // tail pin, dropped when a stops being the chain tail
+		if rn := s.linkInto(owner, a, mb); rn != nil {
+			replaced = append(replaced, rn)
 		}
 	}
 	s.drain(mb, worker)
@@ -128,6 +130,37 @@ func (s *WaitFree) Register(parent, n *Node, worker int) {
 		s.unpin(rn, worker)
 	}
 	n.satisfied(s.ready, worker) // release the registration guard
+}
+
+// linkInto links one non-alias access into owner's domain map and
+// returns the node of the plain-access tail it replaced, if any (the
+// caller unpins replaced tails after the drain — the pushed
+// flagHasSuccessor message is what keeps them dereferenceable until
+// delivery). The caller must be the single writer of owner's domain.
+func (s *WaitFree) linkInto(owner *Node, a *Access, mb *mailbox) (replaced *Node) {
+	n := a.node
+	n.Pin() // released-access pin, dropped at a's release transition
+	if owner.domain == nil {
+		owner.domain = make(map[unsafe.Pointer]tailEntry, InlineAccessCap)
+	}
+	tail, ok := owner.domain[a.addr]
+	switch {
+	case ok && tail.group != nil:
+		s.linkAfterGroup(tail, a, mb)
+	case ok:
+		s.linkAfterAccess(tail, a, mb)
+		replaced = tail.access.node
+	default:
+		tail.parent = findOwnAccess(owner, a.addr)
+		s.linkFresh(tail.parent, a, mb)
+	}
+	if a.group != nil {
+		owner.domain[a.addr] = tailEntry{group: a.group, parent: tail.parent}
+	} else {
+		owner.domain[a.addr] = tailEntry{access: a, parent: tail.parent}
+		n.Pin() // tail pin, dropped when a stops being the chain tail
+	}
+	return replaced
 }
 
 // Unregister implements System: the task finished, so deliver the

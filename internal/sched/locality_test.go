@@ -49,7 +49,7 @@ func TestSyncSchedulerUsesLocalityPolicy(t *testing.T) {
 	// End to end: tasks added via node-1 workers drain into node 1's
 	// locality queue and are preferred by node-1 consumers.
 	pol := NewLocality[*int](4, 2)
-	s := NewSync[*int](Policy[*int](pol), 4, 2, 64, Hooks{})
+	s := NewSync[*int](Policy[*int](pol), 4, 1, 2, 64, Hooks{})
 	vals := make([]int, 4)
 	s.Add(&vals[0], 0) // node 0 producer
 	s.Add(&vals[1], 3) // node 1 producer

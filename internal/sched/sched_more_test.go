@@ -21,7 +21,7 @@ func TestTryGetNonBlocking(t *testing.T) {
 
 func TestSyncDrainHookCountsTasks(t *testing.T) {
 	var drained atomic.Int64
-	s := NewSync[*int](NewFIFO[*int](), 2, 1, 64, Hooks{
+	s := NewSync[*int](NewFIFO[*int](), 2, 1, 1, 64, Hooks{
 		OnDrain: func(owner, n int) { drained.Add(int64(n)) },
 	})
 	vals := make([]int, 10)

@@ -10,7 +10,7 @@ import (
 
 func allSchedulers(workers int) map[string]Scheduler[*int] {
 	return map[string]Scheduler[*int]{
-		"sync":     NewSync[*int](NewFIFO[*int](), workers, 2, 64, Hooks{}),
+		"sync":     NewSync[*int](NewFIFO[*int](), workers, 1, 2, 64, Hooks{}),
 		"central":  NewCentral[*int](NewFIFO[*int](), workers),
 		"blocking": NewBlocking[*int](NewFIFO[*int]()),
 		"worksteal": NewWorkStealing[*int](
@@ -174,7 +174,7 @@ func TestSyncServeHookFires(t *testing.T) {
 	// When one worker owns the DTLock and another delegates, the owner
 	// must serve it and report through the hook.
 	var serves atomic.Int64
-	s := NewSync[*int](NewFIFO[*int](), 2, 1, 16, Hooks{
+	s := NewSync[*int](NewFIFO[*int](), 2, 1, 1, 16, Hooks{
 		OnServe: func(owner, served int) { serves.Add(1) },
 	})
 	const total = 500
@@ -209,7 +209,7 @@ func TestSyncServeHookFires(t *testing.T) {
 func TestSyncSPSCOverflowFallback(t *testing.T) {
 	// The SPSC buffer is tiny; Add must still never lose tasks (the
 	// producer drains through TryLock when the buffer is full).
-	s := NewSync[*int](NewFIFO[*int](), 1, 1, 2, Hooks{})
+	s := NewSync[*int](NewFIFO[*int](), 1, 1, 1, 2, Hooks{})
 	const total = 300
 	vals := make([]int, total)
 	done := make(chan struct{})

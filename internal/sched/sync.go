@@ -40,27 +40,42 @@ type Sync[T comparable] struct {
 }
 
 // NewSync builds a synchronized scheduler for `workers` worker threads
-// (+1 external submitter slot) spread over numaNodes add-queues of
-// spscCap entries each, wrapping the given policy.
-func NewSync[T comparable](inner Policy[T], workers, numaNodes, spscCap int, hooks Hooks) *Sync[T] {
+// plus `submitters` external submitter slots (indices workers..
+// workers+submitters-1), spread over numaNodes add-queues of spscCap
+// entries each, wrapping the given policy. Add accepts any slot index
+// (the per-queue PTLock makes the SPSC producer side multi-caller
+// safe), while Get is only ever called by real workers. Worker indices
+// keep the same worker→node mapping as the Locality policy; the extra
+// submitter slots round-robin over the nodes so external insertion
+// load spreads without disturbing the workers' NUMA structure.
+func NewSync[T comparable](inner Policy[T], workers, submitters, numaNodes, spscCap int, hooks Hooks) *Sync[T] {
 	if numaNodes < 1 {
 		numaNodes = 1
 	}
 	if spscCap < 2 {
 		spscCap = 256
 	}
+	if submitters < 1 {
+		submitters = 1
+	}
+	total := workers + submitters
 	s := &Sync[T]{
-		lock:   locks.NewDTLock[T](workers + 1),
+		lock:   locks.NewDTLock[T](total),
 		inner:  inner,
 		queues: make([]addQueue[T], numaNodes),
-		qOf:    make([]int, workers+1),
+		qOf:    make([]int, total),
 		hooks:  hooks,
 	}
 	for i := range s.queues {
-		s.queues[i] = addQueue[T]{mu: locks.NewPTLock(workers + 1), q: spsc.New[T](spscCap)}
+		s.queues[i] = addQueue[T]{mu: locks.NewPTLock(total), q: spsc.New[T](spscCap)}
 	}
+	// Workers (and the first submitter slot, the historical "external"
+	// index) use the Locality-compatible mapping; further slots rotate.
 	for w := 0; w <= workers; w++ {
 		s.qOf[w] = w * numaNodes / (workers + 1)
+	}
+	for w := workers + 1; w < total; w++ {
+		s.qOf[w] = (w - workers - 1) % numaNodes
 	}
 	s.local, _ = inner.(LocalityAware[T])
 	return s

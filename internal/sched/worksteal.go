@@ -64,8 +64,10 @@ func (q *wsDeque[T]) popHead() (T, bool) {
 	return t, true
 }
 
-// NewWorkStealing builds a work-stealing scheduler for workers worker
-// threads plus one external-submitter deque (index workers).
+// NewWorkStealing builds a work-stealing scheduler with workers+1
+// deques: one per worker thread plus the external-submitter deques
+// (the runtime passes workers + submitter slots - 1; every deque has
+// its own mutex, so any slot may Add concurrently).
 func NewWorkStealing[T comparable](workers int) *WorkStealing[T] {
 	return &WorkStealing[T]{queues: make([]wsDeque[T], workers+1)}
 }

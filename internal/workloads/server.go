@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Server is the sustained-traffic scenario the sharded root-submission
+// path exists for: many goroutines concurrently submit small dependent
+// task graphs (requests) against an overlapping key space, through the
+// runtime's public Submit API rather than one nesting task. Each
+// request is a two-task chain — a compute task producing a delta into a
+// request-private staging cell, and an apply task folding the staged
+// delta into one of the shared keys — so every request exercises a
+// cross-root dependency (staging cell) plus contended root chains (the
+// keys).
+//
+// Deltas are small integers, so float64 key totals are exact and the
+// parallel result must match the serial reference bit-for-bit no matter
+// how the concurrent submissions interleave: per-key addition is
+// commutative across requests, while the in/out chain inside each
+// request checks that root-level dependencies order its two tasks.
+type Server struct {
+	nkeys, submitters, requests int
+
+	keys    []float64
+	staging []float64 // one cell per request
+}
+
+// NewServer builds a server scenario over nkeys keys, driven by
+// `submitters` concurrent client goroutines issuing `requests` requests
+// in total.
+func NewServer(nkeys, submitters, requests int) *Server {
+	if nkeys < 1 {
+		nkeys = 1
+	}
+	if submitters < 1 {
+		submitters = 1
+	}
+	if requests < submitters {
+		requests = submitters
+	}
+	s := &Server{
+		nkeys:      nkeys,
+		submitters: submitters,
+		requests:   requests,
+		keys:       make([]float64, nkeys),
+		staging:    make([]float64, requests),
+	}
+	s.Reset()
+	return s
+}
+
+// Name implements Workload.
+func (s *Server) Name() string { return "server" }
+
+// Reset implements Workload. Integer-valued keys keep sums exact.
+func (s *Server) Reset() {
+	for i := range s.keys {
+		s.keys[i] = float64(1 + i%9)
+	}
+	clear(s.staging)
+}
+
+// reqKey and reqDelta derive a request's target key and integer delta
+// deterministically, so the serial reference replays the same traffic.
+func (s *Server) reqKey(r int) int { return int(uint64(r)*2654435761%uint64(s.nkeys)) }
+
+func (s *Server) reqDelta(r int) float64 { return float64(1 + (r*7+3)%11) }
+
+// Run implements Workload: submitters goroutines issue their share of
+// the requests concurrently, each request as two dependent root
+// submissions, and every handle is awaited before returning.
+func (s *Server) Run(rt *core.Runtime) error {
+	var wg sync.WaitGroup
+	errs := make([]error, s.submitters)
+	for g := 0; g < s.submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			handles := make([]*core.Handle, 0, 2*(s.requests/s.submitters+1))
+			for r := g; r < s.requests; r += s.submitters {
+				r := r
+				stage := &s.staging[r]
+				key := &s.keys[s.reqKey(r)]
+				handles = append(handles, rt.Submit(func(*core.Ctx) (any, error) {
+					*stage = s.reqDelta(r)
+					return nil, nil
+				}, core.Out(stage)))
+				handles = append(handles, rt.Submit(func(*core.Ctx) (any, error) {
+					*key += *stage
+					return nil, nil
+				}, core.In(stage), core.InOut(key)))
+			}
+			for _, h := range handles {
+				if _, err := h.Wait(nil); err != nil && errs[g] == nil {
+					errs[g] = err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSerial implements Workload: the same traffic applied in request
+// order on one goroutine.
+func (s *Server) RunSerial() {
+	for r := 0; r < s.requests; r++ {
+		s.staging[r] = s.reqDelta(r)
+		s.keys[s.reqKey(r)] += s.staging[r]
+	}
+}
+
+// Verify implements Workload: every key must hold its initial value
+// plus exactly the deltas of the requests that targeted it — additions
+// of integer-valued float64s commute exactly, so any lost, duplicated
+// or reordered-with-overlap update is a mismatch.
+func (s *Server) Verify() error {
+	for k := 0; k < s.nkeys; k++ {
+		want := float64(1 + k%9)
+		for r := 0; r < s.requests; r++ {
+			if s.reqKey(r) == k {
+				want += s.reqDelta(r)
+			}
+		}
+		if s.keys[k] != want {
+			return fmt.Errorf("server: key %d = %v, want %v", k, s.keys[k], want)
+		}
+	}
+	for r := 0; r < s.requests; r++ {
+		if s.staging[r] != s.reqDelta(r) {
+			return fmt.Errorf("server: request %d staged %v, want %v", r, s.staging[r], s.reqDelta(r))
+		}
+	}
+	return nil
+}
+
+// TotalWork implements Workload: two element updates per request.
+func (s *Server) TotalWork() float64 { return float64(2 * s.requests) }
+
+// Tasks implements Workload: two tasks per request.
+func (s *Server) Tasks() int { return 2 * s.requests }
+
+var _ Workload = (*Server)(nil)

@@ -1,7 +1,9 @@
 // Package workloads implements the eight benchmarks of the paper's
-// evaluation (§6.1) as task graphs over the runtime's public API:
+// evaluation (§6.1) as task graphs over the runtime's public API —
 // DotProduct, Heat (Gauss-Seidel), HPCCG, a LULESH proxy, a miniAMR
-// proxy, Matmul, NBody, and Cholesky.
+// proxy, Matmul, NBody, and Cholesky — plus Server, a sustained-traffic
+// scenario beyond the paper: many goroutines concurrently submitting
+// small dependent request graphs through the sharded root domain.
 //
 // Every workload runs a constant problem size while the task granularity
 // (work units per task) varies — the paper's experimental axis. Each
@@ -72,6 +74,9 @@ var Registry = map[string]Builder{
 	"nbody":      func(s Size, b int) Workload { return NewNBody(s.N, b, s.Steps) },
 	"lulesh":     func(s Size, b int) Workload { return NewLulesh(s.N, b, s.Steps) },
 	"miniamr":    func(s Size, b int) Workload { return NewMiniAMR(s.N, b, s.Steps) },
+	// server interprets N as the key count, Steps as the total request
+	// count and block as the number of concurrent submitter goroutines.
+	"server": func(s Size, b int) Workload { return NewServer(s.N, b, s.Steps) },
 }
 
 // Build constructs a named workload or returns an error listing the

@@ -23,6 +23,7 @@ func smallSizes() map[string]struct {
 		"nbody":      {Size{N: 128, Steps: 3}, 32},
 		"lulesh":     {Size{N: 512, Steps: 5}, 64},
 		"miniamr":    {Size{N: 512, Steps: 6}, 64},
+		"server":     {Size{N: 32, Steps: 600}, 8},
 	}
 }
 

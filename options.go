@@ -37,6 +37,15 @@ func WithSPSCCap(n int) Option {
 	return func(c *core.Config) { c.SPSCCap = n }
 }
 
+// WithRootShards sets the shard count of the root dependency domain:
+// concurrent Submit/Run callers whose access addresses hash to
+// different shards register in parallel. 0 selects a worker-scaled
+// default; 1 fully serializes root registration (the pre-sharding
+// behaviour, useful as a contention baseline).
+func WithRootShards(n int) Option {
+	return func(c *core.Config) { c.RootShards = n }
+}
+
 // WithScheduler selects the scheduler design.
 func WithScheduler(k SchedulerKind) Option {
 	return func(c *core.Config) { c.Scheduler = k }

@@ -6,13 +6,15 @@ package repro_test
 //   - the number of SPSC insertion queues (one global vs one per NUMA
 //     node vs one per worker; paper §3.1 chooses per-NUMA),
 //   - the allocator refill batch (jemalloc tcache-fill analog),
-//   - FIFO vs LIFO unsynchronized policy under a dependency-heavy load.
+//   - FIFO vs LIFO unsynchronized policy under a dependency-heavy load,
+//   - the taskloop grain (chunk size) against the adaptive default.
 
 import (
 	"fmt"
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/workloads"
 )
@@ -88,6 +90,21 @@ func BenchmarkAblationPolicyFIFOvsLIFO(b *testing.B) {
 				w.Run(rt)
 			}
 		})
+	}
+}
+
+// BenchmarkAblationTaskloopGrain sweeps the work-sharing loop's chunk
+// size on the tier-2 dot-product shape (bench.TaskloopDotWithGrain, so
+// the measured loop cannot drift from the gated one): tiny grains
+// expose the per-chunk claim cost, huge grains starve the late
+// joiners, and grain=0 is the adaptive default the runtime picks.
+func BenchmarkAblationTaskloopGrain(b *testing.B) {
+	for _, grain := range []int{16, 256, 4096, 0} {
+		name := fmt.Sprintf("grain=%d", grain)
+		if grain == 0 {
+			name = "grain=adaptive"
+		}
+		b.Run(name, bench.TaskloopDotWithGrain(grain))
 	}
 }
 

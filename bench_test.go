@@ -17,7 +17,6 @@ package repro_test
 // cmd/repro -scale full for the paper-sized sweeps.
 
 import (
-	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -118,38 +117,15 @@ func BenchmarkSection34SchedulerComparison(b *testing.B) {
 	}
 }
 
-// The task-lifecycle hot-path benchmarks (tier-2 set). Bodies live in
-// internal/bench so cmd/benchjson snapshots exactly the same code into
-// the BENCH_*.json perf trajectory.
-
-// BenchmarkTaskSpawnOverhead measures bare task creation+completion cost
-// on the optimized runtime: the per-task overhead floor that bounds the
-// fine-granularity cliff of every figure.
-func BenchmarkTaskSpawnOverhead(b *testing.B) { bench.SpawnOverhead(b) }
-
-// BenchmarkSpawnChain measures the serialized two-access dependency
-// chain: the spawn→ready→schedule→execute→complete round-trip that the
-// successor-bypass optimization targets.
-func BenchmarkSpawnChain(b *testing.B) { bench.SpawnChain(b) }
-
-// BenchmarkFanOut measures a 64-wide writer→readers fan-out: bulk
-// insertion and concurrent completion accounting.
-func BenchmarkFanOut(b *testing.B) { bench.FanOut(b) }
-
-// BenchmarkSpawnAllocs counts heap allocations per spawned task at the
-// inline-access capacity (4 accesses); the acceptance target is 0.
-func BenchmarkSpawnAllocs(b *testing.B) { bench.SpawnAllocs(b) }
-
-// BenchmarkDependencyChainThroughput measures chained (serialized) task
-// flow: dependency bookkeeping dominates, no parallelism available.
-func BenchmarkDependencyChainThroughput(b *testing.B) { bench.DependencyChainThroughput(b) }
-
-// BenchmarkConcurrentSubmit measures root-submission throughput with
-// 1/4/16/64 concurrently submitting goroutines on independent cells:
-// the sharded root domain's scaling benchmark (PR 3 acceptance compares
-// it against the serialized RootShards=1 baseline; see BENCH_PR3.json).
-func BenchmarkConcurrentSubmit(b *testing.B) {
-	for _, n := range []int{1, 4, 16, 64} {
-		b.Run(fmt.Sprintf("%dsubmitters", n), bench.ConcurrentSubmit(n))
+// BenchmarkTier2 runs the task-lifecycle hot-path set — spawn overhead,
+// dependency chains, fan-out, allocation counts, concurrent root
+// submission, taskloop work-sharing — as sub-benchmarks. The bodies AND
+// the name list live in internal/bench (bench.Tier2), so `go test
+// -bench Tier2`, cmd/benchjson's BENCH_*.json snapshots and the CI perf
+// gate all iterate exactly the same set; earlier PRs duplicated the
+// names here and in the CI grep pattern, and they drifted.
+func BenchmarkTier2(b *testing.B) {
+	for _, bm := range bench.Tier2 {
+		b.Run(bm.Name, bm.F)
 	}
 }

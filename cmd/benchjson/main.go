@@ -11,6 +11,23 @@
 //	go run ./cmd/benchjson -out BENCH_PR3.json -label regmu-baseline -rootshards 1
 //	go run ./cmd/benchjson -out BENCH_PR3.json -label optimized
 //
+// With -compare the tool is a perf-regression gate: after running the
+// set it compares against the named snapshot file and exits non-zero
+// when any benchmark regressed — ns/op beyond -threshold (ignoring
+// sub--floor-ns absolute deltas, which are measurement noise), or
+// allocs/op beyond the same threshold, where any growth from 0
+// allocs/op always fails (the zero-allocation hot paths are exact
+// invariants, not measurements). ns/op is only gated when the baseline
+// was recorded at the current GOMAXPROCS — wall-clock ratios across
+// host shapes are meaningless — while allocs/op, being deterministic
+// per code path, gates on every host. A benchmark present in the
+// baseline but missing from the current set also fails, so coverage
+// cannot be dropped silently. This is what CI runs against
+// BENCH_BASELINE.json (count=5 on the gate side vs count=3 when
+// recording, so the deeper best-of search suppresses false failures):
+//
+//	go run ./cmd/benchjson -count=5 -compare BENCH_BASELINE.json -threshold 1.25
+//
 // -count repeats the whole set and keeps each benchmark's best (minimum
 // ns/op) run, the usual defense against scheduler noise; -benchtime
 // forwards to the testing package ("2s", "10000x"); -rootshards forces
@@ -53,11 +70,15 @@ func main() {
 	// the default FlagSet so a non-test binary can drive
 	// testing.Benchmark with a caller-chosen budget.
 	testing.Init()
-	out := flag.String("out", "BENCH_PR3.json", "output JSON file (merged if it exists)")
+	out := flag.String("out", "", "output JSON file, merged if it exists (empty: no file written)")
 	label := flag.String("label", "optimized", "snapshot label within the output file")
 	count := flag.Int("count", 1, "runs per benchmark; the best (min ns/op) is recorded")
 	benchtime := flag.String("benchtime", "", "per-run budget, e.g. 2s or 10000x (default: the testing package's 1s)")
 	rootShards := flag.Int("rootshards", 0, "force Config.RootShards in the concurrent-submission benchmarks (0: runtime default, 1: serialized regMu-equivalent baseline)")
+	compare := flag.String("compare", "", "baseline JSON file to gate against; exit non-zero on regressions")
+	baselineLabel := flag.String("baseline-label", "baseline", "snapshot label inside the -compare file")
+	threshold := flag.Float64("threshold", 1.25, "regression ratio: fail when new/old exceeds this")
+	floorNs := flag.Float64("floor-ns", 50, "ignore ns/op regressions whose absolute delta is below this (noise floor)")
 	flag.Parse()
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -69,14 +90,6 @@ func main() {
 		*count = 1
 	}
 	bench.RootShards = *rootShards
-
-	file := map[string]snapshot{}
-	if raw, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(raw, &file); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", *out, err)
-			os.Exit(1)
-		}
-	}
 
 	snap := snapshot{
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -104,16 +117,128 @@ func main() {
 		fmt.Printf("%-32s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 			bm.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, best.N)
 	}
-	file[*label] = snap
 
-	raw, err := json.MarshalIndent(file, "", "  ")
+	if *out != "" {
+		file := map[string]snapshot{}
+		if raw, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(raw, &file); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+		file[*label] = snap
+		raw, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s [%s]\n", *out, *label)
+	}
+
+	if *compare != "" {
+		old, err := loadSnapshot(*compare, *baselineLabel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressions := compareSnapshots(old, snap, *threshold, *floorNs); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "\nPERF GATE FAILED against %s [%s] (threshold %.2fx):\n",
+				*compare, *baselineLabel, *threshold)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate passed against %s [%s] (threshold %.2fx)\n",
+			*compare, *baselineLabel, *threshold)
+	}
+}
+
+// loadSnapshot reads one labelled snapshot out of a BENCH_*.json file.
+func loadSnapshot(path, label string) (snapshot, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return snapshot{}, err
 	}
-	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	file := map[string]snapshot{}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("wrote %s [%s]\n", *out, *label)
+	old, ok := file[label]
+	if !ok {
+		labels := make([]string, 0, len(file))
+		for l := range file {
+			labels = append(labels, l)
+		}
+		return snapshot{}, fmt.Errorf("%s has no %q snapshot (have %v)", path, label, labels)
+	}
+	return old, nil
+}
+
+// compareSnapshots returns one human-readable line per regression of
+// new against old. Baseline benchmarks missing from the current set are
+// regressions (coverage loss); benchmarks new in the current set are
+// not (the next baseline refresh picks them up).
+//
+// ns/op is only compared when both snapshots were taken at the same
+// GOMAXPROCS: wall-clock ratios between differently-shaped hosts (a
+// 1-core laptop baseline vs a 4-vCPU CI runner) routinely exceed any
+// sane threshold in either direction and would make the gate both
+// flaky and blind. allocs/op is deterministic per code path and gates
+// unconditionally — in particular the growth-from-0 invariant.
+func compareSnapshots(old, cur snapshot, threshold, floorNs float64) []string {
+	var regressions []string
+	compareNs := old.GOMAXPROCS == cur.GOMAXPROCS
+	if !compareNs {
+		msg := fmt.Sprintf("baseline GOMAXPROCS=%d != current %d; "+
+			"ns/op not gated (allocs/op still is) — refresh BENCH_BASELINE.json on this host shape",
+			old.GOMAXPROCS, cur.GOMAXPROCS)
+		fmt.Println("note: " + msg)
+		if os.Getenv("GITHUB_ACTIONS") == "true" {
+			// Surface the disarmed wall-clock gate as an Actions warning
+			// annotation, not just a log line.
+			fmt.Printf("::warning title=perf gate::%s\n", msg)
+		}
+	}
+	for _, name := range bench.Names() {
+		o, inOld := old.Benchmarks[name]
+		n, inNew := cur.Benchmarks[name]
+		if !inOld {
+			continue
+		}
+		if !inNew {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: in baseline but not measured anymore", name))
+			continue
+		}
+		if compareNs && n.NsPerOp > o.NsPerOp*threshold && n.NsPerOp-o.NsPerOp > floorNs {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx)",
+					name, n.NsPerOp, o.NsPerOp, n.NsPerOp/o.NsPerOp))
+		}
+		switch {
+		case o.AllocsPerOp == 0 && n.AllocsPerOp > 0:
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op vs baseline 0 (zero-allocation invariant broken)",
+					name, n.AllocsPerOp))
+		case o.AllocsPerOp > 0 && float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*threshold:
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.2fx)",
+					name, n.AllocsPerOp, o.AllocsPerOp,
+					float64(n.AllocsPerOp)/float64(o.AllocsPerOp)))
+		}
+	}
+	// Baseline entries outside the shared name list (e.g. a renamed
+	// benchmark) also count as coverage loss.
+	for name := range old.Benchmarks {
+		if _, ok := bench.ByName(name); !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: in baseline but no longer a tier-2 benchmark", name))
+		}
+	}
+	return regressions
 }

@@ -10,9 +10,11 @@ package bench
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/deps"
 )
 
 // Fixed small machine shape so the trajectory numbers are comparable
@@ -240,8 +242,136 @@ func ConcurrentSubmit(submitters int) func(*testing.B) {
 	}
 }
 
+// Taskloop benchmark shape: the acceptance scenario of the taskloop
+// subsystem is a 1e5-iteration dot product at 8 workers, chunked
+// work-sharing execution vs. one task per iteration.
+const (
+	taskloopIters   = 100_000
+	taskloopWorkers = 8
+)
+
+func newLoopRT() *core.Runtime {
+	return core.New(core.ConfigFor(core.VariantOptimized, taskloopWorkers, benchNUMA))
+}
+
+func taskloopData() (x, y []float64, want float64) {
+	x = make([]float64, taskloopIters)
+	y = make([]float64, taskloopIters)
+	for i := range x {
+		x[i] = float64(1 + i%7)
+		y[i] = float64(1 + i%5)
+		want += x[i] * y[i]
+	}
+	return x, y, want
+}
+
+// TaskloopDot measures the chunked work-sharing dot product: one loop
+// task per op owning all 1e5 iterations, workers claiming chunks from
+// the shared span, partials privatized per worker and combined once at
+// the loop's close. The per-op constant (handle, reduction group) is a
+// handful of allocations; the chunk path itself allocates nothing (see
+// TaskloopSteadyState).
+func TaskloopDot(b *testing.B) { TaskloopDotWithGrain(0)(b) }
+
+// TaskloopDotWithGrain is TaskloopDot at an explicit grain (0 selects
+// the adaptive default) — the grain-ablation benchmarks sweep it so
+// the measured loop shape cannot drift from the tier-2 one.
+func TaskloopDotWithGrain(grain int) func(*testing.B) {
+	return func(b *testing.B) {
+		rt := newLoopRT()
+		defer rt.Close()
+		x, y, want := taskloopData()
+		var result float64
+		chunk := func(cc *core.Ctx, lo, hi int) {
+			acc := cc.ReductionBuffer(&result)
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			acc[0] += s
+		}
+		root := func(c *core.Ctx) {
+			c.Loop(0, taskloopIters, grain, chunk, core.RedSpec(&result, 1, deps.OpSum))
+			c.Taskwait()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			result = 0
+			if err := rt.Run(root); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if result != want {
+			b.Fatalf("taskloop dot product = %v, want %v", result, want)
+		}
+	}
+}
+
+// TaskloopDotPerTask is the baseline TaskloopDot is measured against:
+// the same dot product spawning one task per iteration — the
+// per-element pattern the taskloop subsystem replaces. The ≥3×
+// acceptance criterion compares these two.
+func TaskloopDotPerTask(b *testing.B) {
+	rt := newLoopRT()
+	defer rt.Close()
+	x, y, want := taskloopData()
+	var result float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result = 0
+		err := rt.Run(func(c *core.Ctx) {
+			for k := 0; k < taskloopIters; k++ {
+				k := k
+				c.Spawn(func(cc *core.Ctx) {
+					cc.ReductionBuffer(&result)[0] += x[k] * y[k]
+				}, core.RedSpec(&result, 1, deps.OpSum))
+				if k%taskwaitStride == taskwaitStride-1 {
+					c.Taskwait()
+				}
+			}
+			c.Taskwait()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if result != want {
+		b.Fatalf("per-task dot product = %v, want %v", result, want)
+	}
+}
+
+// TaskloopSteadyState measures the steady-state chunk path per
+// iteration: one loop of b.N iterations at a fixed grain, so the
+// loop-constant costs (submission, recruitment, completion) amortize
+// away and allocs/op must integer-divide to zero — the zero-allocation
+// acceptance gate of the chunk path.
+func TaskloopSteadyState(b *testing.B) {
+	rt := newLoopRT()
+	defer rt.Close()
+	var sink atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := rt.RunLoop(0, b.N, 256, func(_ *core.Ctx, lo, hi int) {
+		sink.Add(int64(hi - lo))
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if sink.Load() != int64(b.N) {
+		b.Fatalf("loop covered %d of %d iterations", sink.Load(), b.N)
+	}
+}
+
 // Tier2 is the benchmark set cmd/benchjson snapshots into BENCH_*.json:
-// the perf trajectory future PRs compare against.
+// the perf trajectory future PRs compare against. It is the single
+// source of truth for the tier-2 names — the go test wrappers
+// (BenchmarkTier2 at the repository root) and the CI perf gate iterate
+// this slice rather than duplicating the name list.
 var Tier2 = []struct {
 	Name string
 	F    func(*testing.B)
@@ -255,4 +385,26 @@ var Tier2 = []struct {
 	{"ConcurrentSubmit-4submitters", ConcurrentSubmit(4)},
 	{"ConcurrentSubmit-16submitters", ConcurrentSubmit(16)},
 	{"ConcurrentSubmit-64submitters", ConcurrentSubmit(64)},
+	{"TaskloopDot", TaskloopDot},
+	{"TaskloopDotPerTask", TaskloopDotPerTask},
+	{"TaskloopSteadyState", TaskloopSteadyState},
+}
+
+// Names returns the tier-2 benchmark names in snapshot order.
+func Names() []string {
+	names := make([]string, len(Tier2))
+	for i, bm := range Tier2 {
+		names[i] = bm.Name
+	}
+	return names
+}
+
+// ByName returns the tier-2 benchmark body with the given name.
+func ByName(name string) (func(*testing.B), bool) {
+	for _, bm := range Tier2 {
+		if bm.Name == name {
+			return bm.F, true
+		}
+	}
+	return nil, false
 }

@@ -89,6 +89,18 @@ type Runtime struct {
 	bypass []bypassSlot
 	wctx   []ctxSlot
 
+	// share is the chunk-aware hand-off lane for taskloop steal
+	// descriptors (see loop.go): loop recruitment bypasses the policy
+	// queues. loopsActive counts loop tasks created but not fully
+	// completed and gates the lane polls, so runs without loops never
+	// touch it. shareEnabled is false for the blocking scheduler, whose
+	// workers park in a condvar inside Get and would never observe the
+	// lane — descriptors then route through the scheduler (whose Add
+	// wakes a sleeper) like any other task.
+	share        *sched.WorkShare[Task]
+	shareEnabled bool
+	loopsActive  atomic.Int64
+
 	// noise state for the Figure 11 experiment. serves is sharded for
 	// the same reason as live; it is only touched while the experiment
 	// is armed (noise configured and not yet fired).
@@ -112,6 +124,12 @@ func New(cfg Config) *Runtime {
 	rt.serves = counter.NewSharded(slots)
 	rt.bypass = make([]bypassSlot, slots)
 	rt.wctx = make([]ctxSlot, cfg.Workers)
+	shareSlots := cfg.Workers
+	if shareSlots > 16 {
+		shareSlots = 16
+	}
+	rt.share = sched.NewWorkShare[Task](shareSlots)
+	rt.shareEnabled = cfg.Scheduler != SchedBlocking
 	for i := range rt.wctx {
 		rt.wctx[i].ctx = Ctx{rt: rt, worker: i}
 	}
@@ -133,6 +151,13 @@ func New(cfg Config) *Runtime {
 		if bs := &rt.bypass[worker]; bs.armed && bs.next == nil &&
 			!n.HasCommutative() && t.sc.abortCause() == nil {
 			bs.next = t
+			return
+		}
+		// Taskloop steal descriptors prefer the work-share hand-off lane
+		// over the policy queues; a full (or disabled) lane falls
+		// through to the ordinary scheduler (the lane is a fast path,
+		// never required).
+		if l := t.loop; l != nil && l.owner != t && rt.shareEnabled && rt.share.Offer(t) {
 			return
 		}
 		rt.sched.Add(t, worker)
@@ -357,6 +382,18 @@ func (rt *Runtime) workerLoop(id int) {
 		defer runtime.UnlockOSThread()
 	}
 	for i := 0; ; i++ {
+		// Taskloop steal descriptors come first, so a loop recruits this
+		// worker before it commits to single-task work; the loopsActive
+		// gate keeps loop-free runs off the lane entirely.
+		if rt.loopsActive.Load() > 0 {
+			if t := rt.share.Take(id); t != nil {
+				for t != nil {
+					t = rt.execute(t, id)
+				}
+				i = 0
+				continue
+			}
+		}
 		t0 := rt.tracer.Now()
 		t := rt.sched.Get(id)
 		if t != nil {
@@ -372,6 +409,36 @@ func (rt *Runtime) workerLoop(id int) {
 		}
 		if rt.stopping.Load() && rt.live.Sum() == 0 {
 			return
+		}
+		spinOrYield(i)
+	}
+}
+
+// takeWork is the non-blocking work source of the helping loops
+// (Taskwait, loop-owner completion wait): the work-share lane first
+// (when any loop is live), then the scheduler.
+func (rt *Runtime) takeWork(id int) *Task {
+	if rt.loopsActive.Load() > 0 {
+		if t := rt.share.Take(id); t != nil {
+			return t
+		}
+	}
+	return rt.sched.TryGet(id)
+}
+
+// helpWhileChildren executes ready tasks on worker id until every child
+// of t (and their descendants) has fully completed. It is the waiting
+// half of Taskwait and of a loop owner's final-chunk barrier.
+func (rt *Runtime) helpWhileChildren(t *Task, id int) {
+	for i := 0; t.alive.Load() > 1; i++ {
+		if other := rt.takeWork(id); other != nil {
+			// Execute the task and any bypassed successor chain it
+			// releases; helping with ready work is the point of the loop.
+			for other != nil {
+				other = rt.execute(other, id)
+			}
+			i = 0
+			continue
 		}
 		spinOrYield(i)
 	}
@@ -449,6 +516,8 @@ func (rt *Runtime) runBody(t *Task, id int) {
 		}
 	}()
 	switch {
+	case t.loop != nil:
+		rt.runLoopBody(c, t)
 	case t.fn != nil:
 		v, err := t.fn(c)
 		if t.handle != nil {
@@ -501,6 +570,16 @@ func (rt *Runtime) completeOne(t *Task, id int) {
 			// already dropped its scope reference on completion, so the
 			// scope can be recycled for a future submission.
 			t.sc.release()
+		}
+		if l := t.loop; l != nil {
+			t.loop = nil
+			if l.owner == t {
+				// The owner completes strictly after every steal
+				// descriptor (they are its children), so nothing can
+				// reference the loop state anymore.
+				rt.loopsActive.Add(-1)
+				putLoopState(l)
+			}
 		}
 		t.resetBody()
 		if t.node.Unpin() == 0 {

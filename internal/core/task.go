@@ -33,6 +33,12 @@ type Task struct {
 	// aggregate error into the handle.
 	ownsScope bool
 
+	// loop, when non-nil, marks a work-sharing loop participant: the
+	// loop's owner task (loop.owner == this task) or one of its steal
+	// descriptors. The shared state is cleaned up in completeOne, which
+	// is why resetBody does not touch it.
+	loop *loopState
+
 	// alive counts full completions outstanding: 1 guard for the body
 	// plus one per live child. The decrement to zero completes the task.
 	alive atomic.Int64
@@ -68,10 +74,17 @@ func (t *Task) reset() {
 
 // fail records err as the task's outcome: on the task's handle (first
 // error wins) and in the scope, where the error policy decides whether
-// the rest of the scope keeps running.
+// the rest of the scope keeps running. A taskloop steal descriptor has
+// no handle of its own; its chunk errors are recorded on the shared
+// loop state (first wins, atomically — several descriptors can fail
+// concurrently) and folded into the loop's handle by the owner after
+// the descriptors complete.
 func (t *Task) fail(err error) {
 	if t.handle != nil && t.handle.err == nil {
 		t.handle.err = err
+	}
+	if l := t.loop; l != nil && l.owner != t {
+		l.fail.CompareAndSwap(nil, &err)
 	}
 	t.sc.fail(err)
 }
@@ -138,27 +151,22 @@ func (c *Ctx) Taskwait() {
 	t := c.task
 	rt.tracer.Emit(c.worker, traceTaskwaitStart, 0)
 	rt.deps.CloseDomain(&t.node, c.worker)
-	for i := 0; t.alive.Load() > 1; i++ {
-		if other := rt.sched.TryGet(c.worker); other != nil {
-			// Execute the task and any bypassed successor chain it
-			// releases; helping with ready work is the point of the loop.
-			for other != nil {
-				other = rt.execute(other, c.worker)
-			}
-			i = 0
-			continue
-		}
-		spinOrYield(i)
-	}
+	rt.helpWhileChildren(t, c.worker)
 	rt.tracer.Emit(c.worker, traceTaskwaitEnd, 0)
 }
 
 // ReductionBuffer returns this worker's privatized partial-result buffer
 // for the task's reduction access on p (declared with RedSpec). The
 // buffer holds the access's Len float64 elements, initialized to the
-// operation's identity.
+// operation's identity. Inside a taskloop chunk it resolves against the
+// loop owner's reduction access, so every chunk — wherever it was
+// stolen to — accumulates into the slot of the worker executing it.
 func (c *Ctx) ReductionBuffer(p *float64) []float64 {
-	return c.rt.deps.ReductionBuffer(&c.task.node, unsafe.Pointer(p), c.worker)
+	n := &c.task.node
+	if l := c.task.loop; l != nil {
+		n = &l.owner.node
+	}
+	return c.rt.deps.ReductionBuffer(n, unsafe.Pointer(p), c.worker)
 }
 
 // AccessSpec aliases the dependency system's access declaration for

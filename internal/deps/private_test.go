@@ -1,0 +1,55 @@
+package deps
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPrivateCombineFoldsEverySlot(t *testing.T) {
+	p := NewPrivate[int64](4, 0)
+	*p.Slot(0) += 5
+	*p.Slot(2) += 7
+	sum := p.Combine(0, func(a, b int64) int64 { return a + b })
+	if sum != 12 {
+		t.Fatalf("Combine = %d, want 12", sum)
+	}
+}
+
+func TestPrivateIdentityInitialization(t *testing.T) {
+	p := NewPrivate(3, 1.0)
+	*p.Slot(1) *= 8
+	prod := p.Combine(1.0, func(a, b float64) float64 { return a * b })
+	if prod != 8 {
+		t.Fatalf("Combine = %v, want 8 (identity slots must not distort)", prod)
+	}
+}
+
+func TestPrivateMinimumOneWorker(t *testing.T) {
+	p := NewPrivate[int](0, 0)
+	*p.Slot(0) = 3
+	if got := p.Combine(0, func(a, b int) int { return a + b }); got != 3 {
+		t.Fatalf("Combine = %d, want 3", got)
+	}
+}
+
+// TestPrivateConcurrentWorkers exercises the single-writer-per-slot
+// contract under -race: disjoint workers accumulate concurrently.
+func TestPrivateConcurrentWorkers(t *testing.T) {
+	const workers, perWorker = 8, 10000
+	p := NewPrivate[int64](workers, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := p.Slot(w)
+			for i := 0; i < perWorker; i++ {
+				*s++
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := p.Combine(0, func(a, b int64) int64 { return a + b }); got != workers*perWorker {
+		t.Fatalf("Combine = %d, want %d", got, workers*perWorker)
+	}
+}

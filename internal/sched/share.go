@@ -1,0 +1,64 @@
+package sched
+
+import "sync/atomic"
+
+// WorkShare is the chunk-aware hand-off lane for work-sharing loop
+// tasks: a small fixed array of single-task slots that sits beside the
+// regular scheduler. When a worker executing a taskloop publishes a
+// steal descriptor (an entry point into the loop's remaining iteration
+// span), it lands here instead of behind the policy queue, and idle
+// workers poll these slots before asking the scheduler proper — so a
+// loop recruits helpers in one CAS instead of a full
+// insert→delegate→serve round-trip, and single-task scheduling traffic
+// never queues behind loop recruitment.
+//
+// The structure is deliberately lossy: Offer fails when every slot is
+// occupied and the caller falls back to the regular scheduler, so a
+// slot is a fast path, never a correctness requirement. Slots are
+// cache-line padded; both operations are wait-free in the number of
+// slots.
+type WorkShare[T any] struct {
+	slots []shareSlot[T]
+}
+
+type shareSlot[T any] struct {
+	p atomic.Pointer[T]
+	_ [56]byte
+}
+
+// NewWorkShare returns a hand-off lane with n slots (minimum 1).
+func NewWorkShare[T any](n int) *WorkShare[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &WorkShare[T]{slots: make([]shareSlot[T], n)}
+}
+
+// Offer publishes t into a free slot. It returns false when every slot
+// is occupied; the caller then routes t through the regular scheduler.
+func (ws *WorkShare[T]) Offer(t *T) bool {
+	for i := range ws.slots {
+		s := &ws.slots[i]
+		if s.p.Load() == nil && s.p.CompareAndSwap(nil, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Take removes and returns a published task, or nil when all slots are
+// empty. start spreads concurrent takers across the slots (workers pass
+// their own index).
+func (ws *WorkShare[T]) Take(start int) *T {
+	n := len(ws.slots)
+	if start < 0 {
+		start = -start
+	}
+	for i := 0; i < n; i++ {
+		s := &ws.slots[(start+i)%n]
+		if p := s.p.Load(); p != nil && s.p.CompareAndSwap(p, nil) {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkShareOfferTake(t *testing.T) {
+	ws := NewWorkShare[int](2)
+	a, b, c := 1, 2, 3
+	if !ws.Offer(&a) || !ws.Offer(&b) {
+		t.Fatal("offers into free slots failed")
+	}
+	if ws.Offer(&c) {
+		t.Fatal("offer succeeded with every slot occupied")
+	}
+	got := map[*int]bool{ws.Take(0): true, ws.Take(1): true}
+	if !got[&a] || !got[&b] {
+		t.Fatalf("takes returned %v, want the two offered tasks", got)
+	}
+	if ws.Take(0) != nil {
+		t.Fatal("take from empty lane returned a task")
+	}
+	if !ws.Offer(&c) {
+		t.Fatal("offer after drain failed")
+	}
+	if ws.Take(5) != &c {
+		t.Fatal("take with spread start missed the occupied slot")
+	}
+}
+
+func TestWorkShareMinimumOneSlot(t *testing.T) {
+	ws := NewWorkShare[int](0)
+	v := 7
+	if !ws.Offer(&v) {
+		t.Fatal("zero-slot request must still yield a usable lane")
+	}
+	if ws.Take(0) != &v {
+		t.Fatal("take missed the single slot")
+	}
+}
+
+// TestWorkShareConcurrentExactlyOnce hammers one lane from offering and
+// taking goroutines: every offered task must be taken exactly once.
+func TestWorkShareConcurrentExactlyOnce(t *testing.T) {
+	const (
+		offerers = 4
+		takers   = 4
+		perG     = 2000
+	)
+	ws := NewWorkShare[int](takers)
+	taken := make([]atomic.Int32, offerers*perG)
+	var pending atomic.Int64
+	pending.Store(offerers * perG)
+
+	var wg sync.WaitGroup
+	for g := 0; g < offerers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := g*perG + i
+				for !ws.Offer(&v) {
+					// Lane full: a real caller would fall back to the
+					// scheduler; here, wait for the takers.
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < takers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for pending.Load() > 0 {
+				if p := ws.Take(g); p != nil {
+					taken[*p].Add(1)
+					pending.Add(-1)
+					continue
+				}
+				runtime.Gosched()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range taken {
+		if n := taken[i].Load(); n != 1 {
+			t.Fatalf("task %d taken %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"repro/internal/core"
 )
 
-// DotProduct is benchmark (1) of §6.1: the dot product of two arrays,
-// blocked, with a task reduction aggregating the per-block partial sums.
-// It is the purest stress test of the reduction path of the dependency
-// system: every task shares the single reduction target.
+// DotProduct is benchmark (1) of §6.1: the dot product of two arrays as
+// one work-sharing loop task with a reduction access aggregating the
+// per-chunk partial sums — the canonical taskloop+reduction kernel. The
+// block parameter is the loop grain: workers claim chunks of block
+// iterations from the loop's remaining span, and each chunk accumulates
+// into its worker's privatized reduction buffer, combined once when the
+// loop's reduction closes at the taskwait.
 type DotProduct struct {
 	n, block int
 	x, y     []float64
@@ -48,22 +51,20 @@ func (d *DotProduct) Reset() {
 func (d *DotProduct) Run(rt *core.Runtime) error {
 	d.result = 0
 	return rt.Run(func(c *core.Ctx) {
-		for b := 0; b < d.n; b += d.block {
-			lo, hi := b, b+d.block
-			if hi > d.n {
-				hi = d.n
-			}
-			c.Spawn(func(cc *core.Ctx) {
-				acc := cc.ReductionBuffer(&d.result)
-				s := 0.0
-				for i := lo; i < hi; i++ {
-					s += d.x[i] * d.y[i]
-				}
-				acc[0] += s
-			}, core.RedSpec(&d.result, 1, redSum))
-		}
+		c.Loop(0, d.n, d.block, d.chunk, core.RedSpec(&d.result, 1, redSum))
 		c.Taskwait()
 	})
+}
+
+// chunk accumulates one [lo, hi) block into the executing worker's
+// privatized reduction buffer.
+func (d *DotProduct) chunk(cc *core.Ctx, lo, hi int) {
+	acc := cc.ReductionBuffer(&d.result)
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += d.x[i] * d.y[i]
+	}
+	acc[0] += s
 }
 
 // RunSerial implements Workload.

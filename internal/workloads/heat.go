@@ -18,8 +18,12 @@ type Heat struct {
 	nb              int // blocks per side
 	grid            []float64
 	ref             []float64
-	residual        float64
-	refResidual     float64
+	// tileRes holds each tile's last-sweep residual contribution; a
+	// work-sharing reduction loop folds it into residual after the
+	// sweeps (see Run).
+	tileRes     []float64
+	residual    float64
+	refResidual float64
 }
 
 // NewHeat builds an n×n interior grid (plus boundary) in block×block
@@ -38,6 +42,7 @@ func NewHeat(n, block, steps int) *Heat {
 	}
 	h := &Heat{n: n, block: block, steps: steps, nb: n / block,
 		grid: make([]float64, (n+2)*(n+2)), ref: make([]float64, (n+2)*(n+2))}
+	h.tileRes = make([]float64, h.nb*h.nb)
 	h.Reset()
 	return h
 }
@@ -53,6 +58,9 @@ func (h *Heat) Reset() {
 	stride := h.n + 2
 	for j := 0; j < stride; j++ {
 		h.grid[j] = 100 // top boundary row
+	}
+	for i := range h.tileRes {
+		h.tileRes[i] = 0
 	}
 	h.residual = 0
 	h.refResidual = 0
@@ -80,7 +88,10 @@ func (h *Heat) sweepBlock(bi, bj int) float64 {
 }
 
 // Run implements Workload. Block representatives (the first interior
-// element of each tile) carry the dependencies.
+// element of each tile) carry the wavefront dependencies; the last
+// sweep records each tile's residual contribution, which a
+// work-sharing reduction loop folds into the scalar residual after the
+// sweeps drain.
 func (h *Heat) Run(rt *core.Runtime) error {
 	h.residual = 0
 	return rt.Run(func(c *core.Ctx) {
@@ -89,7 +100,7 @@ func (h *Heat) Run(rt *core.Runtime) error {
 			for bi := 0; bi < h.nb; bi++ {
 				for bj := 0; bj < h.nb; bj++ {
 					bi, bj := bi, bj
-					specs := make([]core.AccessSpec, 0, 6)
+					specs := make([]core.AccessSpec, 0, 5)
 					specs = append(specs, core.InOut(h.rep(bi, bj)))
 					if bi > 0 {
 						specs = append(specs, core.In(h.rep(bi-1, bj)))
@@ -104,10 +115,8 @@ func (h *Heat) Run(rt *core.Runtime) error {
 						specs = append(specs, core.In(h.rep(bi, bj+1)))
 					}
 					if last {
-						specs = append(specs, core.RedSpec(&h.residual, 1, redSum))
-						c.Spawn(func(cc *core.Ctx) {
-							r := h.sweepBlock(bi, bj)
-							cc.ReductionBuffer(&h.residual)[0] += r
+						c.Spawn(func(*core.Ctx) {
+							h.tileRes[bi*h.nb+bj] = h.sweepBlock(bi, bj)
 						}, specs...)
 					} else {
 						c.Spawn(func(*core.Ctx) { h.sweepBlock(bi, bj) }, specs...)
@@ -116,7 +125,20 @@ func (h *Heat) Run(rt *core.Runtime) error {
 			}
 		}
 		c.Taskwait()
+		c.Loop(0, h.nb*h.nb, 0, h.residualChunk, core.RedSpec(&h.residual, 1, redSum))
+		c.Taskwait()
 	})
+}
+
+// residualChunk folds the per-tile residuals of [lo, hi) into the
+// executing worker's privatized reduction buffer.
+func (h *Heat) residualChunk(cc *core.Ctx, lo, hi int) {
+	acc := cc.ReductionBuffer(&h.residual)
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += h.tileRes[i]
+	}
+	acc[0] += s
 }
 
 // rep returns the dependency representative of a tile.

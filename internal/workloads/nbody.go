@@ -8,10 +8,16 @@ import (
 )
 
 // NBody is benchmark (7) of §6.1: a blocked all-pairs N-body step
-// mimicking dynamic particle simulations. One force task per block pair
-// accumulates into the target block's force array under a commutative
-// access (any order, never concurrently); one integration task per block
-// then advances the positions.
+// mimicking dynamic particle simulations, expressed as two work-sharing
+// loop tasks per step ordered purely by their declared accesses. The
+// force loop iterates over target blocks (each chunk owns whole bi
+// rows, so force accumulation into frc[bi] is single-writer and
+// deterministic) reading every position block and updating every force
+// block; the integration loop advances positions and clears forces.
+// The per-block access chains serialize force(s) → integrate(s) →
+// force(s+1), and because a loop task releases only when its last
+// chunk drains, the chains double as exact phase barriers — no
+// explicit taskwait between phases.
 type NBody struct {
 	n, block, steps int
 	nb              int
@@ -94,26 +100,42 @@ func (w *NBody) integrate(bi int) {
 	}
 }
 
+// forceRows computes the forces on blocks [lo, hi): one taskloop chunk.
+// Each bi is touched by exactly one chunk, so frc[bi] needs no
+// synchronization and the bj-ascending accumulation matches the serial
+// order bit for bit.
+func (w *NBody) forceRows(_ *core.Ctx, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		for bj := 0; bj < w.nb; bj++ {
+			w.forcePair(bi, bj)
+		}
+	}
+}
+
+// integrateRows advances blocks [lo, hi): one taskloop chunk.
+func (w *NBody) integrateRows(_ *core.Ctx, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		w.integrate(bi)
+	}
+}
+
 func (w *NBody) posRep(bi int) *float64 { return &w.pos[3*bi*w.block] }
 func (w *NBody) frcRep(bi int) *float64 { return &w.frc[3*bi*w.block] }
 
 // Run implements Workload.
 func (w *NBody) Run(rt *core.Runtime) error {
+	// The loops' access sets: forces read every position block and
+	// update every force block; integration updates both.
+	forceAccs := make([]core.AccessSpec, 0, 2*w.nb)
+	intAccs := make([]core.AccessSpec, 0, 2*w.nb)
+	for bi := 0; bi < w.nb; bi++ {
+		forceAccs = append(forceAccs, core.In(w.posRep(bi)), core.InOut(w.frcRep(bi)))
+		intAccs = append(intAccs, core.InOut(w.posRep(bi)), core.InOut(w.frcRep(bi)))
+	}
 	return rt.Run(func(c *core.Ctx) {
 		for s := 0; s < w.steps; s++ {
-			for bi := 0; bi < w.nb; bi++ {
-				for bj := 0; bj < w.nb; bj++ {
-					bi, bj := bi, bj
-					c.Spawn(func(*core.Ctx) { w.forcePair(bi, bj) },
-						core.In(w.posRep(bi)), core.In(w.posRep(bj)),
-						core.Commutative(w.frcRep(bi)))
-				}
-			}
-			for bi := 0; bi < w.nb; bi++ {
-				bi := bi
-				c.Spawn(func(*core.Ctx) { w.integrate(bi) },
-					core.InOut(w.posRep(bi)), core.InOut(w.frcRep(bi)))
-			}
+			c.Loop(0, w.nb, 1, w.forceRows, forceAccs...)
+			c.Loop(0, w.nb, 1, w.integrateRows, intAccs...)
 		}
 		c.Taskwait()
 	})
@@ -134,9 +156,9 @@ func (w *NBody) RunSerial() {
 	copy(w.refPos, w.pos)
 }
 
-// Verify implements Workload: commutative accumulation makes force
-// summation order nondeterministic, so positions are compared within
-// tolerance.
+// Verify implements Workload: chunked force accumulation follows the
+// serial bj order, but positions are still compared within tolerance to
+// stay robust against associativity-sensitive compilation differences.
 func (w *NBody) Verify() error {
 	got := append([]float64(nil), w.pos...)
 	w.Reset()
@@ -154,5 +176,6 @@ func (w *NBody) TotalWork() float64 {
 	return float64(w.n) * float64(w.n) * float64(w.steps)
 }
 
-// Tasks implements Workload.
-func (w *NBody) Tasks() int { return w.steps * (w.nb*w.nb + w.nb) }
+// Tasks implements Workload: the loop grain is one block row, so each
+// step contributes up to nb force chunks and nb integration chunks.
+func (w *NBody) Tasks() int { return w.steps * 2 * w.nb }

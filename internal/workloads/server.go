@@ -66,7 +66,7 @@ func (s *Server) Reset() {
 
 // reqKey and reqDelta derive a request's target key and integer delta
 // deterministically, so the serial reference replays the same traffic.
-func (s *Server) reqKey(r int) int { return int(uint64(r)*2654435761%uint64(s.nkeys)) }
+func (s *Server) reqKey(r int) int { return int(uint64(r) * 2654435761 % uint64(s.nkeys)) }
 
 func (s *Server) reqDelta(r int) float64 { return float64(1 + (r*7+3)%11) }
 

@@ -46,6 +46,30 @@
 // executing, while the dependency graph and task accounting unwind
 // normally.
 //
+// # Work-sharing loops
+//
+// Loop-heavy kernels use ForEach and ForReduce instead of spawning one
+// task per element: the loop is a single logical task (taskloop) whose
+// iteration range is claimed in chunks by however many workers are
+// idle. Its dependencies are declared once for the whole range
+// (WithAccesses), it completes only when every chunk has drained, and
+// reductions privatize one accumulator per worker, combined once at the
+// end:
+//
+//	repro.ForEach(rt, 0, len(img), func(c *repro.Ctx, lo, hi int) {
+//		for i := lo; i < hi; i++ { img[i] = blur(img, i) }
+//	}, repro.WithGrain(1024))
+//
+//	sum, err := repro.ForReduce(rt, 0, n, 0.0,
+//		func(a, b float64) float64 { return a + b },
+//		func(c *repro.Ctx, lo, hi int, acc *float64) {
+//			for i := lo; i < hi; i++ { *acc += x[i] * y[i] }
+//		})
+//
+// Inside a task body, Ctx.Loop spawns a loop as a child task (waited on
+// by Taskwait like any other child); Graph.AddLoop places a loop
+// between named graph nodes.
+//
 // For named-DAG workloads, the Graph builder offers a declarative layer
 // on top of the same dependency engine:
 //

@@ -11,20 +11,34 @@
 //	go run ./cmd/benchjson -out BENCH_PR3.json -label regmu-baseline -rootshards 1
 //	go run ./cmd/benchjson -out BENCH_PR3.json -label optimized
 //
+// Benchmarks may attach custom metrics through testing.B.ReportMetric;
+// they are snapshotted under "extra". Metrics whose unit ends in "-ns"
+// (the QoS latency percentiles p50/p95/p99-int-ns, batch-ns) are
+// wall-clock quantities: with -count they take the per-metric best
+// across runs, and -compare gates them like ns/op.
+//
 // With -compare the tool is a perf-regression gate: after running the
 // set it compares against the named snapshot file and exits non-zero
-// when any benchmark regressed — ns/op beyond -threshold (ignoring
-// sub--floor-ns absolute deltas, which are measurement noise), or
-// allocs/op beyond the same threshold, where any growth from 0
-// allocs/op always fails (the zero-allocation hot paths are exact
-// invariants, not measurements). ns/op is only gated when the baseline
-// was recorded at the current GOMAXPROCS — wall-clock ratios across
-// host shapes are meaningless — while allocs/op, being deterministic
-// per code path, gates on every host. A benchmark present in the
-// baseline but missing from the current set also fails, so coverage
-// cannot be dropped silently. This is what CI runs against
-// BENCH_BASELINE.json (count=5 on the gate side vs count=3 when
-// recording, so the deeper best-of search suppresses false failures):
+// when any benchmark regressed — ns/op beyond -threshold, a "-ns"
+// custom metric beyond -latency-threshold (wider by default: tail
+// quantiles are far noisier run-to-run than per-op means, and the
+// regression this arm of the gate exists to catch — the priority
+// machinery going dark — is an order of magnitude), each ignoring
+// sub--floor-ns absolute deltas, or allocs/op beyond -threshold, where
+// any growth from 0 allocs/op always fails (the zero-allocation hot
+// paths are exact invariants, not measurements). Wall-clock metrics
+// are only gated when the baseline was recorded at the current
+// GOMAXPROCS — wall-clock ratios across host shapes are meaningless —
+// while allocs/op, being deterministic per code path, gates on every
+// host (except open-loop benchmarks marked DynamicAllocs, whose
+// allocation count scales with background traffic). A benchmark
+// present in the baseline but missing from the current set fails, so
+// coverage cannot be dropped silently; a benchmark or metric measured
+// but absent from the baseline warns on every run until the baseline
+// is refreshed, so new benchmarks cannot dodge the gate by never being
+// baselined. This is what CI runs against BENCH_BASELINE.json (count=5
+// on the gate side vs count=3 when recording, so the deeper best-of
+// search suppresses false failures):
 //
 //	go run ./cmd/benchjson -count=5 -compare BENCH_BASELINE.json -threshold 1.25
 //
@@ -41,18 +55,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
 )
 
-// entry is one benchmark's snapshot.
+// entry is one benchmark's snapshot. Extra carries the benchmark's
+// custom metrics (testing.B.ReportMetric), e.g. the QoS latency
+// percentiles p99-int-ns; metrics whose unit ends in "-ns" are
+// wall-clock quantities and are gated by -compare under the same
+// threshold/noise-floor/GOMAXPROCS rules as ns/op.
 type entry struct {
-	NsPerOp     float64 `json:"ns_op"`
-	AllocsPerOp int64   `json:"allocs_op"`
-	BytesPerOp  int64   `json:"b_op"`
-	N           int     `json:"n"`
+	NsPerOp     float64            `json:"ns_op"`
+	AllocsPerOp int64              `json:"allocs_op"`
+	BytesPerOp  int64              `json:"b_op"`
+	N           int                `json:"n"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // snapshot is one labelled run of the whole tier-2 set.
@@ -78,6 +99,10 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON file to gate against; exit non-zero on regressions")
 	baselineLabel := flag.String("baseline-label", "baseline", "snapshot label inside the -compare file")
 	threshold := flag.Float64("threshold", 1.25, "regression ratio: fail when new/old exceeds this")
+	latThreshold := flag.Float64("latency-threshold", 3.0,
+		"regression ratio for custom latency metrics (tail quantiles are far noisier "+
+			"run-to-run than ns/op means; the regression mode this gate exists for — "+
+			"the priority machinery going dark — is an order of magnitude)")
 	floorNs := flag.Float64("floor-ns", 50, "ignore ns/op regressions whose absolute delta is below this (noise floor)")
 	flag.Parse()
 	if *benchtime != "" {
@@ -109,13 +134,27 @@ func main() {
 				BytesPerOp:  r.AllocedBytesPerOp(),
 				N:           r.N,
 			}
+			if len(r.Extra) > 0 {
+				e.Extra = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					e.Extra[k] = v
+				}
+			}
+			// ns/op keeps the whole best run; custom wall-clock metrics
+			// take the element-wise minimum across the -count runs (the
+			// same best-of noise defense, per metric).
+			extra := minExtras(best.Extra, e.Extra)
 			if c == 0 || e.NsPerOp < best.NsPerOp {
 				best = e
 			}
+			best.Extra = extra
 		}
 		snap.Benchmarks[bm.Name] = best
 		fmt.Printf("%-32s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 			bm.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, best.N)
+		for _, k := range sortedKeys(best.Extra) {
+			fmt.Printf("%32s %12.1f %s\n", "", best.Extra[k], k)
+		}
 	}
 
 	if *out != "" {
@@ -145,7 +184,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		if regressions := compareSnapshots(old, snap, *threshold, *floorNs); len(regressions) > 0 {
+		regressions, warnings := compareSnapshots(old, snap, *threshold, *latThreshold, *floorNs)
+		for _, w := range warnings {
+			fmt.Println("warning: " + w)
+			if os.Getenv("GITHUB_ACTIONS") == "true" {
+				fmt.Printf("::warning title=perf gate::%s\n", w)
+			}
+		}
+		if len(regressions) > 0 {
 			fmt.Fprintf(os.Stderr, "\nPERF GATE FAILED against %s [%s] (threshold %.2fx):\n",
 				*compare, *baselineLabel, *threshold)
 			for _, r := range regressions {
@@ -156,6 +202,35 @@ func main() {
 		fmt.Printf("perf gate passed against %s [%s] (threshold %.2fx)\n",
 			*compare, *baselineLabel, *threshold)
 	}
+}
+
+// minExtras merges two custom-metric maps, keeping the per-key minimum
+// (all current metrics are wall-clock latencies where lower is better).
+// Either argument may be nil.
+func minExtras(a, b map[string]float64) map[string]float64 {
+	if a == nil {
+		return b
+	}
+	out := make(map[string]float64, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if o, ok := out[k]; !ok || v < o {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in stable order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // loadSnapshot reads one labelled snapshot out of a BENCH_*.json file.
@@ -180,34 +255,40 @@ func loadSnapshot(path, label string) (snapshot, error) {
 }
 
 // compareSnapshots returns one human-readable line per regression of
-// new against old. Baseline benchmarks missing from the current set are
-// regressions (coverage loss); benchmarks new in the current set are
-// not (the next baseline refresh picks them up).
+// new against old, plus non-fatal warnings. Baseline benchmarks
+// missing from the current set are regressions (coverage loss);
+// benchmarks (or custom metrics) present in the current set but absent
+// from the baseline are warnings — they cannot fail this run, but left
+// unbaselined they would dodge the gate forever, so they are surfaced
+// on every run until the baseline is refreshed.
 //
-// ns/op is only compared when both snapshots were taken at the same
-// GOMAXPROCS: wall-clock ratios between differently-shaped hosts (a
-// 1-core laptop baseline vs a 4-vCPU CI runner) routinely exceed any
-// sane threshold in either direction and would make the gate both
-// flaky and blind. allocs/op is deterministic per code path and gates
-// unconditionally — in particular the growth-from-0 invariant.
-func compareSnapshots(old, cur snapshot, threshold, floorNs float64) []string {
-	var regressions []string
+// ns/op — and every custom wall-clock metric (unit suffix "-ns", e.g.
+// the QoS latency percentiles, gated at the wider latThreshold) — is
+// only compared when both snapshots
+// were taken at the same GOMAXPROCS: wall-clock ratios between
+// differently-shaped hosts (a 1-core laptop baseline vs a 4-vCPU CI
+// runner) routinely exceed any sane threshold in either direction and
+// would make the gate both flaky and blind. allocs/op is deterministic
+// per code path and gates on every host — in particular the
+// growth-from-0 invariant — except for benchmarks marked
+// bench.DynamicAllocsByName, whose open-loop background traffic makes
+// allocs/op host-dependent too.
+func compareSnapshots(old, cur snapshot, threshold, latThreshold, floorNs float64) (regressions, warnings []string) {
 	compareNs := old.GOMAXPROCS == cur.GOMAXPROCS
 	if !compareNs {
-		msg := fmt.Sprintf("baseline GOMAXPROCS=%d != current %d; "+
-			"ns/op not gated (allocs/op still is) — refresh BENCH_BASELINE.json on this host shape",
-			old.GOMAXPROCS, cur.GOMAXPROCS)
-		fmt.Println("note: " + msg)
-		if os.Getenv("GITHUB_ACTIONS") == "true" {
-			// Surface the disarmed wall-clock gate as an Actions warning
-			// annotation, not just a log line.
-			fmt.Printf("::warning title=perf gate::%s\n", msg)
-		}
+		warnings = append(warnings, fmt.Sprintf(
+			"baseline GOMAXPROCS=%d != current %d; wall-clock metrics not gated "+
+				"(allocs/op still is) — refresh BENCH_BASELINE.json on this host shape",
+			old.GOMAXPROCS, cur.GOMAXPROCS))
 	}
 	for _, name := range bench.Names() {
 		o, inOld := old.Benchmarks[name]
 		n, inNew := cur.Benchmarks[name]
 		if !inOld {
+			if inNew {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: measured but not in the baseline — refresh BENCH_BASELINE.json or it never gates", name))
+			}
 			continue
 		}
 		if !inNew {
@@ -219,6 +300,34 @@ func compareSnapshots(old, cur snapshot, threshold, floorNs float64) []string {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx)",
 					name, n.NsPerOp, o.NsPerOp, n.NsPerOp/o.NsPerOp))
+		}
+		// Custom wall-clock metrics (latency percentiles): same rules as
+		// ns/op, keyed per metric.
+		for _, k := range sortedKeys(o.Extra) {
+			if !strings.HasSuffix(k, "-ns") {
+				continue
+			}
+			nv, ok := n.Extra[k]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: metric %s in baseline but not reported anymore", name, k))
+				continue
+			}
+			ov := o.Extra[k]
+			if compareNs && nv > ov*latThreshold && nv-ov > floorNs {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.1f %s vs baseline %.1f (%.2fx)",
+						name, nv, k, ov, nv/ov))
+			}
+		}
+		for _, k := range sortedKeys(n.Extra) {
+			if _, ok := o.Extra[k]; !ok && strings.HasSuffix(k, "-ns") {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: metric %s reported but not in the baseline — refresh BENCH_BASELINE.json", name, k))
+			}
+		}
+		if bench.DynamicAllocsByName(name) {
+			continue
 		}
 		switch {
 		case o.AllocsPerOp == 0 && n.AllocsPerOp > 0:
@@ -240,5 +349,5 @@ func compareSnapshots(old, cur snapshot, threshold, floorNs float64) []string {
 				fmt.Sprintf("%s: in baseline but no longer a tier-2 benchmark", name))
 		}
 	}
-	return regressions
+	return regressions, warnings
 }

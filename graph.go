@@ -60,6 +60,7 @@ type gnode struct {
 	name string
 	deps []string
 	fn   GraphFunc
+	pri  int
 
 	// val/err are written once by the node's task body (or its skip
 	// path) and read by dependents after the dependency edge's
@@ -90,6 +91,25 @@ func (g *Graph) Add(name string, deps []string, fn GraphFunc) *Graph {
 	n := &gnode{name: name, deps: deps, fn: fn}
 	g.byName[name] = n
 	g.nodes = append(g.nodes, n)
+	return g
+}
+
+// SetPriority assigns a scheduling priority level to an already-added
+// task (clamped to [0, MaxPriority] at Run). The node's task — and,
+// by inheritance, anything it spawns — runs at that level once its
+// dependencies are satisfied; the dependency edges themselves are
+// unaffected. Referencing an unknown task is a construction error
+// reported by Run.
+func (g *Graph) SetPriority(name string, pri int) *Graph {
+	if g.err != nil {
+		return g
+	}
+	n, ok := g.byName[name]
+	if !ok {
+		g.err = fmt.Errorf("repro: SetPriority on unknown graph task %q", name)
+		return g
+	}
+	n.pri = pri
 	return g
 }
 
@@ -169,11 +189,14 @@ func (g *Graph) Run(ctx context.Context, rt *Runtime) (map[string]Result, error)
 		// Registration in topological order guarantees each sentinel's
 		// out() precedes its dependents' in() in the chain.
 		for i, n := range order {
-			accs := make([]AccessSpec, 0, len(n.deps)+1)
+			accs := make([]AccessSpec, 0, len(n.deps)+2)
 			for _, d := range n.deps {
 				accs = append(accs, In(&sentinels[index[d]]))
 			}
 			accs = append(accs, Out(&sentinels[i]))
+			if n.pri != 0 {
+				accs = append(accs, WithPriority(n.pri))
+			}
 			n.fut = Go(c, n.task(g), accs...)
 		}
 		c.Taskwait()

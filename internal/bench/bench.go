@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deps"
+	"repro/internal/workloads"
 )
 
 // Fixed small machine shape so the trajectory numbers are comparable
@@ -367,6 +368,47 @@ func TaskloopSteadyState(b *testing.B) {
 	}
 }
 
+// Two-class QoS benchmark shape: the latency-SLO acceptance scenario
+// runs the qos workload at 8 workers — interactive requests (b.N of
+// them, closed loop) against a sustained batch flood over one shared
+// key table — once with class priorities and once priority-blind. The
+// per-class latency percentiles ride the benchmark result as custom
+// metrics (testing's Extra mechanism), which cmd/benchjson snapshots
+// and gates exactly like ns/op; the acceptance comparison is
+// ServerQoSBlind's p99-int-ns against ServerQoSPriority's.
+const (
+	qosWorkers      = 8
+	qosKeys         = 32768
+	qosBatchClients = 4
+)
+
+// ServerQoS returns the two-class server benchmark in either
+// scheduling mode. ns/op is wall time per interactive request and is
+// dominated by the (fixed-ratio) batch flood, so it doubles as a
+// batch-throughput proxy; the headline QoS quantities are the reported
+// latency metrics.
+func ServerQoS(usePriority bool) func(*testing.B) {
+	return func(b *testing.B) {
+		rt := core.New(core.ConfigFor(core.VariantOptimized, qosWorkers, benchNUMA))
+		defer rt.Close()
+		q := workloads.NewQoSServer(qosKeys, b.N, qosBatchClients, usePriority)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := q.Run(rt); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := q.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(q.Interactive.Quantile(0.50)), "p50-int-ns")
+		b.ReportMetric(float64(q.Interactive.Quantile(0.95)), "p95-int-ns")
+		b.ReportMetric(float64(q.Interactive.Quantile(0.99)), "p99-int-ns")
+		b.ReportMetric(float64(q.Batch.Quantile(0.99)), "p99-batch-ns")
+		b.ReportMetric(q.BatchNsPerRequest(), "batch-ns")
+	}
+}
+
 // Tier2 is the benchmark set cmd/benchjson snapshots into BENCH_*.json:
 // the perf trajectory future PRs compare against. It is the single
 // source of truth for the tier-2 names — the go test wrappers
@@ -375,19 +417,27 @@ func TaskloopSteadyState(b *testing.B) {
 var Tier2 = []struct {
 	Name string
 	F    func(*testing.B)
+	// DynamicAllocs marks open-loop benchmarks whose per-op allocation
+	// count scales with how much background traffic the host drains
+	// during one op (the stop-controlled QoS flood), not with the code
+	// path; the allocs/op gate skips them because their ratio is
+	// host-shape-dependent, exactly like wall clock.
+	DynamicAllocs bool
 }{
-	{"SpawnOverhead", SpawnOverhead},
-	{"SpawnChain", SpawnChain},
-	{"FanOut", FanOut},
-	{"SpawnAllocs", SpawnAllocs},
-	{"DependencyChainThroughput", DependencyChainThroughput},
-	{"ConcurrentSubmit-1submitters", ConcurrentSubmit(1)},
-	{"ConcurrentSubmit-4submitters", ConcurrentSubmit(4)},
-	{"ConcurrentSubmit-16submitters", ConcurrentSubmit(16)},
-	{"ConcurrentSubmit-64submitters", ConcurrentSubmit(64)},
-	{"TaskloopDot", TaskloopDot},
-	{"TaskloopDotPerTask", TaskloopDotPerTask},
-	{"TaskloopSteadyState", TaskloopSteadyState},
+	{Name: "SpawnOverhead", F: SpawnOverhead},
+	{Name: "SpawnChain", F: SpawnChain},
+	{Name: "FanOut", F: FanOut},
+	{Name: "SpawnAllocs", F: SpawnAllocs},
+	{Name: "DependencyChainThroughput", F: DependencyChainThroughput},
+	{Name: "ConcurrentSubmit-1submitters", F: ConcurrentSubmit(1)},
+	{Name: "ConcurrentSubmit-4submitters", F: ConcurrentSubmit(4)},
+	{Name: "ConcurrentSubmit-16submitters", F: ConcurrentSubmit(16)},
+	{Name: "ConcurrentSubmit-64submitters", F: ConcurrentSubmit(64)},
+	{Name: "TaskloopDot", F: TaskloopDot},
+	{Name: "TaskloopDotPerTask", F: TaskloopDotPerTask},
+	{Name: "TaskloopSteadyState", F: TaskloopSteadyState},
+	{Name: "ServerQoSPriority", F: ServerQoS(true), DynamicAllocs: true},
+	{Name: "ServerQoSBlind", F: ServerQoS(false), DynamicAllocs: true},
 }
 
 // Names returns the tier-2 benchmark names in snapshot order.
@@ -407,4 +457,15 @@ func ByName(name string) (func(*testing.B), bool) {
 		}
 	}
 	return nil, false
+}
+
+// DynamicAllocsByName reports whether the named benchmark's allocs/op
+// is host-dependent and must not be ratio-gated (see Tier2).
+func DynamicAllocsByName(name string) bool {
+	for _, bm := range Tier2 {
+		if bm.Name == name {
+			return bm.DynamicAllocs
+		}
+	}
+	return false
 }

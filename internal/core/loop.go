@@ -265,6 +265,15 @@ func (rt *Runtime) loopClaim(c *Ctx, t *Task, ls *loopState) {
 			}
 			return
 		}
+		// A stealing participant yields between claims when a task of a
+		// higher priority level is queued: it stops claiming and returns
+		// to the scheduler (which will serve the higher level first),
+		// bounding the loop-side priority inversion to one claim. The
+		// owner never yields — it must drain the span, and the queued
+		// task is picked up by the workers the yield frees.
+		if t != ls.owner && rt.higherPriPending(t.pri) {
+			return
+		}
 		cur := ls.next.Load()
 		rem := ls.hi - cur
 		if rem <= 0 {

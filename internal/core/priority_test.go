@@ -1,0 +1,490 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// schedKindsUnderStress returns the scheduler designs the priority
+// stress tests exercise. The CI stress matrix pins one design per job
+// through REPRO_STRESS_SCHED ("sync", "central", "worksteal",
+// "blocking"), mirroring REPRO_STRESS_DEPS; locally the three designs
+// with distinct priority machinery run (blocking shares the central
+// policy path).
+func schedKindsUnderStress() []SchedulerKind {
+	switch os.Getenv("REPRO_STRESS_SCHED") {
+	case "sync":
+		return []SchedulerKind{SchedSyncDTLock}
+	case "central":
+		return []SchedulerKind{SchedCentralPTLock}
+	case "worksteal":
+		return []SchedulerKind{SchedWorkStealing}
+	case "blocking":
+		return []SchedulerKind{SchedBlocking}
+	}
+	return []SchedulerKind{SchedSyncDTLock, SchedCentralPTLock, SchedWorkStealing}
+}
+
+func (k SchedulerKind) testName() string {
+	switch k {
+	case SchedCentralPTLock:
+		return "central"
+	case SchedBlocking:
+		return "blocking"
+	case SchedWorkStealing:
+		return "worksteal"
+	}
+	return "sync"
+}
+
+// TestPriorityRespectsDependencies pins the core contract: a
+// MaxPriority task still waits for its low-priority predecessor. Both
+// tasks are queued while the single worker is parked in a gate task,
+// so the scheduler sees them together and the only thing keeping the
+// order correct is the dependency chain.
+func TestPriorityRespectsDependencies(t *testing.T) {
+	for _, sk := range schedKindsUnderStress() {
+		t.Run(sk.testName(), func(t *testing.T) {
+			rt := New(Config{Workers: 1, Scheduler: sk})
+			defer rt.Close()
+			release := make(chan struct{})
+			gate := rt.Submit(func(*Ctx) (any, error) {
+				<-release
+				return nil, nil
+			})
+			var x float64
+			var aDone atomic.Bool
+			a := rt.Submit(func(*Ctx) (any, error) {
+				x = 42
+				aDone.Store(true)
+				return nil, nil
+			}, Out(&x))
+			var sawPredecessor atomic.Bool
+			b := rt.Submit(func(*Ctx) (any, error) {
+				sawPredecessor.Store(aDone.Load() && x == 42)
+				return nil, nil
+			}, In(&x), Priority(MaxPriority))
+			close(release)
+			for _, h := range []*Handle{gate, a, b} {
+				if _, err := h.Wait(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !sawPredecessor.Load() {
+				t.Fatal("high-priority successor ran before its low-priority predecessor")
+			}
+		})
+	}
+}
+
+// TestPriorityBypassYieldsToQueuedHigher pins the successor-bypass
+// gate: with a MaxPriority task queued, a released low-priority
+// immediate successor must go through the scheduler (where the
+// priority policy orders the two) instead of jumping the queue in the
+// worker's bypass slot. One worker, fully sequenced, so the execution
+// order is deterministic.
+func TestPriorityBypassYieldsToQueuedHigher(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	defer rt.Close()
+	var mu sync.Mutex
+	var order []string
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	var a float64
+	queued := make(chan struct{})
+	// t1 holds the worker; its completion releases s (the bypass
+	// candidate). q is queued at MaxPriority while t1 runs.
+	t1 := rt.Submit(func(*Ctx) (any, error) {
+		<-queued
+		return nil, nil
+	}, InOut(&a))
+	s := rt.Submit(func(*Ctx) (any, error) {
+		record("successor")
+		return nil, nil
+	}, InOut(&a))
+	q := rt.Submit(func(*Ctx) (any, error) {
+		record("interactive")
+		return nil, nil
+	}, Priority(MaxPriority))
+	close(queued) // q's registration completed: it is queued at level 3
+	for _, h := range []*Handle{t1, s, q} {
+		if _, err := h.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(order) != 2 || order[0] != "interactive" {
+		t.Fatalf("execution order %v; want the queued MaxPriority task before the bypassed successor", order)
+	}
+}
+
+// TestPriorityStarvationBounded pins the anti-starvation bound
+// end-to-end: under a sustained stream of MaxPriority tasks (the
+// feeder keeps a window outstanding for the whole test), a batch of
+// level-0 tasks must still complete — the courtesy slot guarantees
+// bounded waiting, on every scheduler design.
+func TestPriorityStarvationBounded(t *testing.T) {
+	for _, sk := range schedKindsUnderStress() {
+		t.Run(sk.testName(), func(t *testing.T) {
+			rt := New(Config{Workers: 2, Scheduler: sk})
+			defer rt.Close()
+
+			stop := make(chan struct{})
+			var feederDone sync.WaitGroup
+			var interactiveRan atomic.Int64
+			// Feeder: keep several MaxPriority tasks outstanding until
+			// told to stop.
+			const feedWindow = 8
+			feederDone.Add(feedWindow)
+			for w := 0; w < feedWindow; w++ {
+				go func() {
+					defer feederDone.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						h := rt.Submit(func(*Ctx) (any, error) {
+							interactiveRan.Add(1)
+							return nil, nil
+						}, Priority(MaxPriority))
+						h.Wait(nil)
+					}
+				}()
+			}
+
+			const batch = 50
+			handles := make([]*Handle, batch)
+			for i := range handles {
+				handles[i] = rt.Submit(func(*Ctx) (any, error) { return nil, nil })
+			}
+			done := make(chan struct{})
+			go func() {
+				for _, h := range handles {
+					h.Wait(nil)
+				}
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Errorf("batch tasks starved: not all of %d completed under sustained "+
+					"MaxPriority load (%d interactive tasks ran)", batch, interactiveRan.Load())
+			}
+			close(stop)
+			feederDone.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+		})
+	}
+}
+
+// TestPriorityWithTaskloopsStress runs level-0 work-sharing loops
+// concurrently with a MaxPriority submission stream: the lane
+// re-route (a descriptor taken while a higher level is queued goes
+// back through the scheduler) and the stealer claim-yield must not
+// lose descriptors, skip iterations, or strand handles, on any
+// scheduler design.
+func TestPriorityWithTaskloopsStress(t *testing.T) {
+	for _, sk := range schedKindsUnderStress() {
+		t.Run(sk.testName(), func(t *testing.T) {
+			rt := New(Config{Workers: 4, Scheduler: sk})
+			defer rt.Close()
+			const iters = 50_000
+			var sum atomic.Int64
+			loopDone := make(chan error, 1)
+			go func() {
+				loopDone <- rt.RunLoop(0, iters, 64, func(_ *Ctx, lo, hi int) {
+					s := 0
+					for i := lo; i < hi; i++ {
+						s += i
+					}
+					sum.Add(int64(s))
+				})
+			}()
+			var interactive atomic.Int64
+			var handles []*Handle
+			for i := 0; i < 200; i++ {
+				handles = append(handles, rt.Submit(func(*Ctx) (any, error) {
+					interactive.Add(1)
+					return nil, nil
+				}, Priority(MaxPriority)))
+			}
+			for _, h := range handles {
+				if _, err := h.Wait(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := <-loopDone; err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(iters) * (iters - 1) / 2; sum.Load() != want {
+				t.Fatalf("loop sum %d, want %d (lost or duplicated chunks)", sum.Load(), want)
+			}
+			if interactive.Load() != 200 {
+				t.Fatalf("interactive tasks ran %d times, want 200", interactive.Load())
+			}
+			if n := rt.LiveTasks(); n != 0 {
+				t.Fatalf("LiveTasks = %d", n)
+			}
+		})
+	}
+}
+
+// --- Differential stress: priorities must not change what runs ---
+
+// priSpec is one randomized graph: tasks register in order, each with
+// distinct-address accesses and a priority level; the same spec runs
+// priority-tagged and priority-stripped and must behave identically
+// under a per-address happens-before oracle (a compact version of the
+// internal/deps differential oracle: readers overlap readers only,
+// exclusives are mutually exclusive, every access observes exactly the
+// address version its chain position entitles it to).
+type priSpec struct {
+	cells int
+	tasks []priTask
+}
+
+type priTask struct {
+	accs []priAccess
+	pri  int
+}
+
+type priAccess struct {
+	addr int
+	typ  depsAccessType
+}
+
+type depsAccessType uint8
+
+const (
+	priIn depsAccessType = iota
+	priOut
+	priInOut
+	priCommutative
+)
+
+func genPriSpec(r *rand.Rand) priSpec {
+	spec := priSpec{cells: 2 + r.Intn(5)}
+	n := 1 + r.Intn(30)
+	for t := 0; t < n; t++ {
+		na := 1 + r.Intn(3)
+		if na > spec.cells {
+			na = spec.cells
+		}
+		perm := r.Perm(spec.cells)[:na] // distinct addresses per task
+		task := priTask{pri: r.Intn(4)}
+		for _, addr := range perm {
+			typ := depsAccessType(r.Intn(4))
+			task.accs = append(task.accs, priAccess{addr: addr, typ: typ})
+		}
+		spec.tasks = append(spec.tasks, task)
+	}
+	return spec
+}
+
+// priExpectation is the version window an access may observe at body
+// time (commutative run members share the run's window).
+type priExpectation struct{ lo, hi int }
+
+func computePriExpectations(spec priSpec) [][]*priExpectation {
+	type addrState struct {
+		excl     int
+		runStart int
+		inRun    bool
+		runMembs []*priExpectation
+	}
+	st := make([]addrState, spec.cells)
+	closeRun := func(s *addrState) {
+		for _, e := range s.runMembs {
+			e.hi = s.excl - 1
+		}
+		s.inRun = false
+		s.runMembs = nil
+	}
+	exps := make([][]*priExpectation, len(spec.tasks))
+	for t, task := range spec.tasks {
+		exps[t] = make([]*priExpectation, len(task.accs))
+		for i, a := range task.accs {
+			s := &st[a.addr]
+			switch a.typ {
+			case priIn:
+				closeRun(s)
+				exps[t][i] = &priExpectation{lo: s.excl, hi: s.excl}
+			case priOut, priInOut:
+				closeRun(s)
+				exps[t][i] = &priExpectation{lo: s.excl, hi: s.excl}
+				s.excl++
+			case priCommutative:
+				if !s.inRun {
+					s.inRun = true
+					s.runStart = s.excl
+				}
+				e := &priExpectation{lo: s.runStart}
+				s.runMembs = append(s.runMembs, e)
+				exps[t][i] = e
+				s.excl++
+			}
+		}
+	}
+	for a := range st {
+		closeRun(&st[a])
+	}
+	return exps
+}
+
+// priCell is one address's oracle state, padded against false sharing.
+type priCell struct {
+	data    float64
+	ver     atomic.Int64
+	readers atomic.Int64
+	writers atomic.Int64
+	_       [24]byte
+}
+
+// runPriSpec executes the spec through a full runtime of the given
+// scheduler kind, with or without the priority tags, under the oracle.
+// It returns the final per-address versions.
+func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged bool) []int64 {
+	t.Helper()
+	rt := New(Config{Workers: 4, Scheduler: sk})
+	defer rt.Close()
+	cells := make([]priCell, spec.cells)
+	exps := computePriExpectations(spec)
+
+	var vmu sync.Mutex
+	var violations []string
+	violate := func(format string, args ...any) {
+		vmu.Lock()
+		if len(violations) < 5 {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+		vmu.Unlock()
+	}
+
+	ran := make([]atomic.Int32, len(spec.tasks))
+	err := rt.Run(func(c *Ctx) {
+		for ti := range spec.tasks {
+			ti := ti
+			task := spec.tasks[ti]
+			specs := make([]AccessSpec, 0, len(task.accs)+1)
+			for _, a := range task.accs {
+				p := &cells[a.addr].data
+				switch a.typ {
+				case priIn:
+					specs = append(specs, In(p))
+				case priOut:
+					specs = append(specs, Out(p))
+				case priInOut:
+					specs = append(specs, InOut(p))
+				case priCommutative:
+					specs = append(specs, Commutative(p))
+				}
+			}
+			if tagged {
+				specs = append(specs, Priority(task.pri))
+			}
+			c.Spawn(func(*Ctx) {
+				if ran[ti].Add(1) != 1 {
+					violate("t%d executed more than once", ti)
+				}
+				for i, a := range task.accs {
+					cell := &cells[a.addr]
+					excl := a.typ != priIn
+					if excl {
+						if w := cell.writers.Add(1); w != 1 {
+							violate("t%d c%d: %d concurrent exclusive bodies", ti, a.addr, w)
+						}
+						if r := cell.readers.Load(); r != 0 {
+							violate("t%d c%d: exclusive overlaps %d readers", ti, a.addr, r)
+						}
+					} else {
+						cell.readers.Add(1)
+						if w := cell.writers.Load(); w != 0 {
+							violate("t%d c%d: reader overlaps %d exclusives", ti, a.addr, w)
+						}
+					}
+					if v := int(cell.ver.Load()); v < exps[ti][i].lo || v > exps[ti][i].hi {
+						violate("t%d c%d: observed version %d, want [%d,%d]",
+							ti, a.addr, v, exps[ti][i].lo, exps[ti][i].hi)
+					}
+				}
+				for i := 0; i < 30; i++ {
+					if i&7 == 0 {
+						runtime.Gosched()
+					}
+				}
+				for i := len(task.accs) - 1; i >= 0; i-- {
+					cell := &cells[task.accs[i].addr]
+					if task.accs[i].typ != priIn {
+						cell.ver.Add(1)
+						cell.writers.Add(-1)
+					} else {
+						cell.readers.Add(-1)
+					}
+				}
+			}, specs...)
+		}
+		c.Taskwait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range ran {
+		if ran[ti].Load() != 1 {
+			violate("t%d ran %d times", ti, ran[ti].Load())
+		}
+	}
+	vmu.Lock()
+	defer vmu.Unlock()
+	if len(violations) > 0 {
+		t.Fatalf("sched=%s tagged=%v: oracle violations:\n  %s\nspec: %+v",
+			sk.testName(), tagged, violations[0], spec)
+	}
+	final := make([]int64, spec.cells)
+	for a := range cells {
+		final[a] = cells[a].ver.Load()
+	}
+	return final
+}
+
+// TestPriorityDifferentialStress runs randomized graphs with random
+// per-task priorities through every scheduler design, twice each —
+// priority-tagged and priority-stripped — under the happens-before
+// oracle (the core-level sibling of the internal/deps differential
+// suite). Priorities may only reorder ready tasks: both runs must be
+// oracle-clean, run every task exactly once, and agree on the final
+// per-address versions.
+func TestPriorityDifferentialStress(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 10
+	}
+	baseSeed := int64(0x9121) // bump to re-roll the whole suite
+	for _, sk := range schedKindsUnderStress() {
+		t.Run(sk.testName(), func(t *testing.T) {
+			for round := 0; round < rounds; round++ {
+				seed := baseSeed + int64(round)
+				spec := genPriSpec(rand.New(rand.NewSource(seed)))
+				tagged := runPriSpec(t, sk, spec, true)
+				plain := runPriSpec(t, sk, spec, false)
+				for a := range tagged {
+					if tagged[a] != plain[a] {
+						t.Fatalf("seed %d: final version of cell %d differs: tagged %d vs stripped %d",
+							seed, a, tagged[a], plain[a])
+					}
+				}
+			}
+		})
+	}
+}

@@ -101,11 +101,64 @@ type Runtime struct {
 	shareEnabled bool
 	loopsActive  atomic.Int64
 
+	// priPending counts scheduler-queued tasks per elevated priority
+	// level (level 0 is never counted — there is no lower class to
+	// protect from it). The successor-bypass gate reads the levels above
+	// a candidate's own before parking it, so a low-priority immediate
+	// successor cannot jump a queued high-priority task. Counting covers
+	// exactly the tasks routed through sched.Add/Get — the work-share
+	// lane's steal descriptors are a bounded-size fast path outside it
+	// (see DESIGN.md). Each level sits on its own cache line; runs that
+	// never set a priority only ever *read* these (always-zero) lines
+	// on the bypass path, which stays cached and contention-free.
+	priPending [sched.PriorityLevels]paddedCount
+
 	// noise state for the Figure 11 experiment. serves is sharded for
 	// the same reason as live; it is only touched while the experiment
 	// is armed (noise configured and not yet fired).
 	serves    *counter.Sharded
 	noiseDone atomic.Bool
+}
+
+// paddedCount is one cache-line-isolated atomic counter (the per-level
+// pending counts above; too few and too structured for counter.Sharded).
+type paddedCount struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// schedAdd routes a task to the scheduler, maintaining the per-level
+// pending counts for elevated tasks. Every insertion into rt.sched must
+// go through it (ready callback, commutative re-enqueue) so the counts
+// match what Get can return.
+func (rt *Runtime) schedAdd(t *Task, worker int) {
+	if t.pri > 0 {
+		rt.priPending[t.pri].v.Add(1)
+	}
+	rt.sched.Add(t, worker)
+}
+
+// schedTook books a task obtained from rt.sched.Get/TryGet out of the
+// pending counts. Wrapping the return value keeps the counters exact:
+// a task is pending iff it has been Added and not yet returned.
+func (rt *Runtime) schedTook(t *Task) *Task {
+	if t != nil && t.pri > 0 {
+		rt.priPending[t.pri].v.Add(-1)
+	}
+	return t
+}
+
+// higherPriPending reports whether any task with a priority level above
+// pri is currently queued in the scheduler. It is a conservative
+// best-effort read (concurrent Adds and Gets move the counts), used to
+// keep the successor bypass from starving queued higher-priority work.
+func (rt *Runtime) higherPriPending(pri int8) bool {
+	for l := int(pri) + 1; l < sched.PriorityLevels; l++ {
+		if rt.priPending[l].v.Load() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // New builds and starts a runtime. The caller must Close it.
@@ -145,11 +198,16 @@ func New(cfg Config) *Runtime {
 	// the task in the slot instead of the scheduler preserves
 	// exactly-once scheduling; commutative tasks (which may have to be
 	// re-enqueued after losing the token race) and tasks of cancelled
-	// scopes always take the scheduler path.
+	// scopes always take the scheduler path. The bypass also yields to
+	// the priority dimension: if a task of a *higher* level than the
+	// candidate successor is queued, the successor goes through the
+	// scheduler — where the priority policy orders the two — instead of
+	// jumping the queue on this worker.
 	ready := func(n *deps.Node, worker int) {
 		t := n.Payload.(*Task)
 		if bs := &rt.bypass[worker]; bs.armed && bs.next == nil &&
-			!n.HasCommutative() && t.sc.abortCause() == nil {
+			!n.HasCommutative() && t.sc.abortCause() == nil &&
+			!rt.higherPriPending(t.pri) {
 			bs.next = t
 			return
 		}
@@ -160,7 +218,7 @@ func New(cfg Config) *Runtime {
 		if l := t.loop; l != nil && l.owner != t && rt.shareEnabled && rt.share.Offer(t) {
 			return
 		}
-		rt.sched.Add(t, worker)
+		rt.schedAdd(t, worker)
 	}
 	switch cfg.Deps {
 	case DepsWaitFree:
@@ -180,15 +238,22 @@ func New(cfg Config) *Runtime {
 		panic(fmt.Sprintf("core: unknown deps kind %d", cfg.Deps))
 	}
 
-	var policy sched.Policy[*Task]
-	switch cfg.Policy {
-	case PolicyLIFO:
-		policy = sched.NewLIFO[*Task]()
-	case PolicyLocality:
-		policy = sched.NewLocality[*Task](cfg.Workers, cfg.NUMANodes)
-	default:
-		policy = sched.NewFIFO[*Task]()
+	// The configured policy becomes one *level* of the bounded-levels
+	// priority policy (paper §3.2: new scheduling policies are policy
+	// wrappers, not scheduler rework). Priority-free runs stay on the
+	// level-0 fast path, so the wrapper costs one predictable branch.
+	priOf := func(t *Task) int { return int(t.pri) }
+	mkInner := func() sched.Policy[*Task] {
+		switch cfg.Policy {
+		case PolicyLIFO:
+			return sched.NewLIFO[*Task]()
+		case PolicyLocality:
+			return sched.NewLocality[*Task](cfg.Workers, cfg.NUMANodes)
+		default:
+			return sched.NewFIFO[*Task]()
+		}
 	}
+	policy := sched.Policy[*Task](sched.NewPriority(mkInner, priOf))
 
 	hooks := sched.Hooks{
 		OnServe: func(owner, served int) {
@@ -212,7 +277,7 @@ func New(cfg Config) *Runtime {
 	case SchedBlocking:
 		rt.sched = sched.NewBlocking(policy)
 	case SchedWorkStealing:
-		rt.sched = sched.NewWorkStealing[*Task](slots - 1)
+		rt.sched = sched.NewWorkStealing(slots-1, priOf)
 	default:
 		panic(fmt.Sprintf("core: unknown scheduler kind %d", cfg.Scheduler))
 	}
@@ -329,13 +394,34 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 	t.body = body
 	t.parent = parent
 	t.sc = parent.sc
+	t.pri = parent.pri
 	t.alive.Store(1)
 	t.node.Payload = t
 	t.node.Pin()
-	if len(accs) > 0 {
-		dst := t.node.InitAccesses(len(accs))
-		for i := range accs {
-			dst[i].Init(&t.node, accs[i])
+	// PriorityClause pseudo accesses are stripped here: they set the
+	// task's scheduling level (last clause wins, overriding the
+	// inherited one) and never reach the dependency system.
+	nacc := len(accs)
+	for i := range accs {
+		if accs[i].Type == deps.PriorityClause {
+			t.pri = int8(sched.ClampPriority(accs[i].Len))
+			nacc--
+		}
+	}
+	if nacc > 0 {
+		dst := t.node.InitAccesses(nacc)
+		if nacc == len(accs) {
+			for i := range accs {
+				dst[i].Init(&t.node, accs[i])
+			}
+		} else {
+			j := 0
+			for i := range accs {
+				if accs[i].Type != deps.PriorityClause {
+					dst[j].Init(&t.node, accs[i])
+					j++
+				}
+			}
 		}
 	}
 	return t
@@ -384,18 +470,26 @@ func (rt *Runtime) workerLoop(id int) {
 	for i := 0; ; i++ {
 		// Taskloop steal descriptors come first, so a loop recruits this
 		// worker before it commits to single-task work; the loopsActive
-		// gate keeps loop-free runs off the lane entirely.
+		// gate keeps loop-free runs off the lane entirely. The lane
+		// yields to the priority dimension like the bypass slot does: a
+		// descriptor taken while a higher-level task is queued re-routes
+		// through the scheduler at its own level instead of capturing
+		// this worker for the loop's remaining span.
 		if rt.loopsActive.Load() > 0 {
 			if t := rt.share.Take(id); t != nil {
-				for t != nil {
-					t = rt.execute(t, id)
+				if rt.higherPriPending(t.pri) {
+					rt.schedAdd(t, id)
+				} else {
+					for t != nil {
+						t = rt.execute(t, id)
+					}
+					i = 0
+					continue
 				}
-				i = 0
-				continue
 			}
 		}
 		t0 := rt.tracer.Now()
-		t := rt.sched.Get(id)
+		t := rt.schedTook(rt.sched.Get(id))
 		if t != nil {
 			rt.tracer.EmitTS(id, trace.KSchedEnter, 0, t0)
 			rt.tracer.Emit(id, trace.KSchedLeave, 0)
@@ -416,14 +510,19 @@ func (rt *Runtime) workerLoop(id int) {
 
 // takeWork is the non-blocking work source of the helping loops
 // (Taskwait, loop-owner completion wait): the work-share lane first
-// (when any loop is live), then the scheduler.
+// (when any loop is live), then the scheduler. Like workerLoop, a
+// lane descriptor yields to a queued higher-priority task by
+// re-routing through the scheduler.
 func (rt *Runtime) takeWork(id int) *Task {
 	if rt.loopsActive.Load() > 0 {
 		if t := rt.share.Take(id); t != nil {
-			return t
+			if !rt.higherPriPending(t.pri) {
+				return t
+			}
+			rt.schedAdd(t, id)
 		}
 	}
-	return rt.sched.TryGet(id)
+	return rt.schedTook(rt.sched.TryGet(id))
 }
 
 // helpWhileChildren executes ready tasks on worker id until every child
@@ -461,7 +560,7 @@ func (rt *Runtime) execute(t *Task, id int) *Task {
 	cause := t.sc.abortCause()
 	if cause == nil && t.node.HasCommutative() && !t.node.TryAcquireCommutative() {
 		// Lost the token race: re-enqueue and let the worker move on.
-		rt.sched.Add(t, id)
+		rt.schedAdd(t, id)
 		runtime.Gosched()
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 	"unsafe"
 
 	"repro/internal/deps"
+	"repro/internal/sched"
 )
 
 // Task is one unit of work with data dependencies. Tasks are created
@@ -38,6 +39,15 @@ type Task struct {
 	// descriptors. The shared state is cleaned up in completeOne, which
 	// is why resetBody does not touch it.
 	loop *loopState
+
+	// pri is the task's scheduling priority level, in
+	// [0, MaxPriority]. It is inherited from the parent at creation
+	// (children of an interactive request stay interactive; taskloop
+	// steal descriptors ride at their loop's level) and overridden by a
+	// PriorityClause pseudo access in the task's access list. newTask
+	// assigns it unconditionally, so recycled shells cannot leak a
+	// stale level.
+	pri int8
 
 	// alive counts full completions outstanding: 1 guard for the body
 	// plus one per live child. The decrement to zero completes the task.
@@ -99,6 +109,9 @@ type Ctx struct {
 
 // Worker returns the index of the worker executing the task.
 func (c *Ctx) Worker() int { return c.worker }
+
+// Priority returns the running task's scheduling priority level.
+func (c *Ctx) Priority() int { return int(c.task.pri) }
 
 // Runtime returns the owning runtime.
 func (c *Ctx) Runtime() *Runtime { return c.rt }
@@ -199,6 +212,23 @@ func RedSpec(p *float64, n int, op deps.ReductionOp) deps.AccessSpec {
 // Commutative declares a commutative access on p.
 func Commutative[T any](p *T) deps.AccessSpec {
 	return deps.AccessSpec{Addr: unsafe.Pointer(p), Type: deps.Commutative}
+}
+
+// MaxPriority is the highest scheduling priority level; 0 is the
+// default. The level count is bounded (sched.PriorityLevels), so
+// Priority values outside [0, MaxPriority] are clamped.
+const MaxPriority = sched.PriorityLevels - 1
+
+// Priority declares the task's scheduling priority level, as a pseudo
+// access riding in the access list (the OmpSs-2 priority clause). It
+// declares no data dependency: the runtime strips it before
+// registration and uses it to route the task through the scheduler's
+// priority levels. Higher runs earlier among *ready* tasks — a
+// priority never overtakes a data dependency. Children inherit the
+// spawning task's level unless they carry their own clause. The public
+// façade wrapper is repro.WithPriority.
+func Priority(n int) deps.AccessSpec {
+	return deps.AccessSpec{Type: deps.PriorityClause, Len: n}
 }
 
 // WeakIn declares a weak read access on p: the task does not read p

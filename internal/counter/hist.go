@@ -1,0 +1,152 @@
+package counter
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket log-scale latency histogram, the
+// recording side of the runtime's tail-latency measurements. Like
+// Sharded it splits its state across per-recorder shards so the hot
+// operation (Record on the caller's own shard) never contends — a
+// shard is a whole number of cache lines, so neighbouring shards never
+// false-share — and the merged view (Count, Quantile) is a cold-path
+// walk that is exact once recorders quiesce.
+//
+// Buckets are logarithmic with histSubBuckets linear sub-buckets per
+// octave: values below histSubBuckets are exact, larger values land in
+// a bucket whose width is 1/histSubBuckets of their magnitude, so any
+// reported quantile overstates the true sample by at most 12.5%
+// (1/2^histSubBits). The bucket count is fixed at compile time and the
+// index is pure bit arithmetic — Record allocates nothing and performs
+// exactly one atomic add, which is what lets a latency-SLO benchmark
+// record every request on its hot path.
+const (
+	// histSubBits selects the sub-bucket resolution: 2^histSubBits
+	// linear buckets per power of two.
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits
+
+	// HistBuckets is the total bucket count: one exact bucket per value
+	// below histSubBuckets, then histSubBuckets buckets per octave up
+	// to the full int64 range. 8·HistBuckets bytes is a multiple of the
+	// cache-line size, which is what keeps shards line-disjoint.
+	HistBuckets = (64 - histSubBits + 1) << histSubBits
+)
+
+// histShard is one recorder's bucket array.
+type histShard struct {
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Histogram distributes bucket counts over per-recorder shards.
+type Histogram struct {
+	shards []histShard
+}
+
+// NewHistogram returns a histogram with one shard per recorder.
+// Recorders pass their own index to Record; any index in range is
+// correct, just slower when shared.
+func NewHistogram(recorders int) *Histogram {
+	if recorders < 1 {
+		recorders = 1
+	}
+	return &Histogram{shards: make([]histShard, recorders)}
+}
+
+// Recorders returns the shard count the histogram was built for.
+func (h *Histogram) Recorders() int { return len(h.shards) }
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	return ((exp - histSubBits + 1) << histSubBits) |
+		int((uint64(v)>>uint(exp-histSubBits))&(histSubBuckets-1))
+}
+
+// bucketMax returns the largest value mapping to bucket idx — the
+// conservative (upper-bound) representative Quantile reports.
+func bucketMax(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	block := idx >> histSubBits
+	sub := idx & (histSubBuckets - 1)
+	exp := uint(block + histSubBits - 1)
+	width := int64(1) << (exp - histSubBits)
+	return int64(1)<<exp + int64(sub+1)*width - 1
+}
+
+// Record adds one sample to the recorder's shard. Negative samples
+// (clock skew) clamp to zero. The sample path is allocation-free.
+func (h *Histogram) Record(recorder int, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.shards[recorder].buckets[histIndex(v)].Add(1)
+}
+
+// Count returns the total number of recorded samples (exact at
+// quiescence, like Sharded.Sum).
+func (h *Histogram) Count() int64 {
+	var n int64
+	for s := range h.shards {
+		for b := range h.shards[s].buckets {
+			n += h.shards[s].buckets[b].Load()
+		}
+	}
+	return n
+}
+
+// Quantile returns an upper bound on the q-quantile sample (q clamped
+// to [0,1]): the maximum value of the bucket holding the sample of
+// that rank in the merged histogram. It returns 0 when no samples have
+// been recorded. Like Count it is a cold-path merge, exact at
+// quiescence.
+func (h *Histogram) Quantile(q float64) int64 {
+	var merged [HistBuckets]int64
+	var total int64
+	for s := range h.shards {
+		for b := range h.shards[s].buckets {
+			c := h.shards[s].buckets[b].Load()
+			merged[b] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for b := range merged {
+		cum += merged[b]
+		if cum >= rank {
+			return bucketMax(b)
+		}
+	}
+	return bucketMax(HistBuckets - 1)
+}
+
+// Reset zeroes every bucket. It must not run concurrently with Record.
+func (h *Histogram) Reset() {
+	for s := range h.shards {
+		for b := range h.shards[s].buckets {
+			h.shards[s].buckets[b].Store(0)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package counter
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram(1)
+	for v := int64(0); v < histSubBuckets; v++ {
+		h.Record(0, v)
+	}
+	// With one sample per value 0..7, the q-quantile upper bound is the
+	// value itself: small buckets are exact.
+	for v := int64(0); v < histSubBuckets; v++ {
+		q := (float64(v) + 1) / float64(histSubBuckets)
+		if got := h.Quantile(q); got != v {
+			t.Fatalf("Quantile(%v) = %d, want %d", q, got, v)
+		}
+	}
+	if h.Count() != histSubBuckets {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramIndexMonotoneAndBounded(t *testing.T) {
+	// histIndex must be monotone in v, in range, and bucketMax must be
+	// an upper bound within 12.5% relative error.
+	prev := -1
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= HistBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		up := bucketMax(idx)
+		if up < v {
+			t.Fatalf("bucketMax(%d) = %d below sample %d", idx, up, v)
+		}
+		if v >= histSubBuckets && float64(up-v) > 0.125*float64(v) {
+			t.Fatalf("bucketMax(%d) = %d overstates %d by more than 12.5%%", idx, up, v)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(3)
+	r := rand.New(rand.NewSource(42))
+	samples := make([]int64, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		v := int64(r.ExpFloat64() * 50000) // latency-shaped distribution
+		samples = append(samples, v)
+		h.Record(i%3, v) // spread across shards; merge must be exact
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		// Exact quantile by sorting a copy.
+		sorted := append([]int64(nil), samples...)
+		for i := range sorted {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		rank := int(q*float64(len(sorted)) + 0.5)
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		exact := sorted[rank]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("Quantile(%v) = %d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > 0.13*float64(exact)+float64(histSubBuckets) {
+			t.Fatalf("Quantile(%v) = %d, exact %d: error beyond bucket width", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramRecordAllocsAndClamp(t *testing.T) {
+	h := NewHistogram(2)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(1, 123456)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", allocs)
+	}
+	h.Record(0, -5) // clamps, must not panic
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("negative sample not clamped to 0: %d", got)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const recorders = 4
+	const per = 5000
+	h := NewHistogram(recorders)
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(g, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != recorders*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), recorders*per)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}

@@ -121,6 +121,12 @@ type RootLease struct {
 func (d *RootDomain) Acquire(accs []AccessSpec) RootLease {
 	var mask uint64
 	for i := range accs {
+		if accs[i].Type == PriorityClause {
+			// Pseudo accesses carry no address: they join no chain and
+			// lease no shard (a nil Addr would always hash to one shard
+			// and needlessly serialize every priority-tagged submission).
+			continue
+		}
 		mask |= 1 << uint(d.shardOf(accs[i].Addr))
 	}
 	if mask == 0 {

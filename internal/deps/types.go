@@ -32,6 +32,14 @@ const (
 	// Commutative grants mutual exclusion without ordering: consecutive
 	// commutative tasks may run in any order but never simultaneously.
 	Commutative
+	// PriorityClause is a pseudo access type: a spec of this type
+	// declares no data access at all — it carries a scheduling priority
+	// (in the spec's Len field) through a task's access list, the way
+	// OmpSs-2's priority clause rides alongside the dependency clauses.
+	// The runtime core strips these specs before registration, so a
+	// dependency system never sees one; Acquire skips them when leasing
+	// root shards.
+	PriorityClause
 )
 
 // String returns the OmpSs-2 clause name of the access type.
@@ -47,6 +55,8 @@ func (t AccessType) String() string {
 		return "reduction"
 	case Commutative:
 		return "commutative"
+	case PriorityClause:
+		return "priority"
 	}
 	return "unknown"
 }

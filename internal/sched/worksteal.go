@@ -15,19 +15,60 @@ import (
 // global-lock behaviour under the single-creator pattern: every consumer
 // ends up stealing from the creator's one deque, and that deque's lock
 // becomes the scheduler bottleneck.
+//
+// Priority support is deliberately *weaker* here than in the
+// policy-wrapping schedulers, and that asymmetry is the point of
+// keeping this baseline around: each deque orders its own tasks by
+// level (owner pops and thieves steal the highest level first, with
+// the same courtesy-slot starvation bound as the Priority policy), but
+// victims are still chosen at random, without comparing priorities
+// across deques — a thief happily takes a level-0 task from one victim
+// while a level-3 task waits in another. Retrofitting global priority
+// order onto a hierarchy of deques is exactly the "rework" the paper's
+// centralized design argues against; see DESIGN.md ("Priority
+// scheduling and QoS").
 type WorkStealing[T comparable] struct {
 	queues []wsDeque[T]
+	priOf  func(T) int
+}
+
+// wsLane is one priority level of one deque.
+type wsLane[T comparable] struct {
+	dq   []T
+	head int
 }
 
 type wsDeque[T comparable] struct {
-	mu   sync.Mutex
-	dq   []T
-	head int
-	_    [24]byte
+	mu    sync.Mutex
+	lanes [PriorityLevels]wsLane[T]
+	// scan is the shared bounded-levels pop discipline (see
+	// sched.scanState): per-deque elevated fast path, starvation
+	// counter and rotating courtesy cursor.
+	scan scanState
+	_    [32]byte
 }
 
-// popTail removes from the owner end. Caller holds mu.
-func (q *wsDeque[T]) popTail() (T, bool) {
+// dequeLanes adapts one deque's lanes — from the owner (tail) or thief
+// (head) end — to the shared pop discipline. Caller holds the deque's
+// mutex.
+type dequeLanes[T comparable] struct {
+	q        *wsDeque[T]
+	fromTail bool
+}
+
+func (a dequeLanes[T]) length(l int) int {
+	return len(a.q.lanes[l].dq) - a.q.lanes[l].head
+}
+
+func (a dequeLanes[T]) take(l int) (T, bool) {
+	if a.fromTail {
+		return a.q.lanes[l].popTail()
+	}
+	return a.q.lanes[l].popHead()
+}
+
+// popTail removes from the owner end of one lane. Caller holds mu.
+func (q *wsLane[T]) popTail() (T, bool) {
 	var zero T
 	if len(q.dq) <= q.head {
 		return zero, false
@@ -43,8 +84,8 @@ func (q *wsDeque[T]) popTail() (T, bool) {
 	return t, true
 }
 
-// popHead removes from the thief end. Caller holds mu.
-func (q *wsDeque[T]) popHead() (T, bool) {
+// popHead removes from the thief end of one lane. Caller holds mu.
+func (q *wsLane[T]) popHead() (T, bool) {
 	var zero T
 	if len(q.dq) <= q.head {
 		return zero, false
@@ -64,22 +105,38 @@ func (q *wsDeque[T]) popHead() (T, bool) {
 	return t, true
 }
 
+// pop removes one task from the deque under the shared bounded-levels
+// discipline, from the tail (owner) or head (thief) end. Caller holds
+// mu.
+func (q *wsDeque[T]) pop(fromTail bool) (T, bool) {
+	return popLevels[T](&q.scan, dequeLanes[T]{q: q, fromTail: fromTail})
+}
+
 // NewWorkStealing builds a work-stealing scheduler with workers+1
 // deques: one per worker thread plus the external-submitter deques
 // (the runtime passes workers + submitter slots - 1; every deque has
-// its own mutex, so any slot may Add concurrently).
-func NewWorkStealing[T comparable](workers int) *WorkStealing[T] {
-	return &WorkStealing[T]{queues: make([]wsDeque[T], workers+1)}
+// its own mutex, so any slot may Add concurrently). priOf reads a
+// task's priority level; nil treats every task as level 0.
+func NewWorkStealing[T comparable](workers int, priOf func(T) int) *WorkStealing[T] {
+	return &WorkStealing[T]{queues: make([]wsDeque[T], workers+1), priOf: priOf}
 }
 
 // Name implements Scheduler.
 func (s *WorkStealing[T]) Name() string { return "work-stealing" }
 
-// Add pushes the task onto the producing worker's own deque.
+// Add pushes the task onto the producing worker's own deque, into the
+// lane of the task's priority level.
 func (s *WorkStealing[T]) Add(t T, worker int) {
+	pri := 0
+	if s.priOf != nil {
+		pri = ClampPriority(s.priOf(t))
+	}
 	q := &s.queues[worker]
 	q.mu.Lock()
-	q.dq = append(q.dq, t)
+	q.lanes[pri].dq = append(q.lanes[pri].dq, t)
+	if pri > 0 {
+		q.scan.elevated++
+	}
 	q.mu.Unlock()
 }
 
@@ -89,7 +146,7 @@ func (s *WorkStealing[T]) Get(worker int) T {
 	var zero T
 	q := &s.queues[worker]
 	q.mu.Lock()
-	if t, ok := q.popTail(); ok {
+	if t, ok := q.pop(true); ok {
 		q.mu.Unlock()
 		return t
 	}
@@ -103,7 +160,7 @@ func (s *WorkStealing[T]) Get(worker int) T {
 			continue
 		}
 		v.mu.Lock()
-		if t, ok := v.popHead(); ok {
+		if t, ok := v.pop(false); ok {
 			v.mu.Unlock()
 			return t
 		}

@@ -77,6 +77,9 @@ var Registry = map[string]Builder{
 	// server interprets N as the key count, Steps as the total request
 	// count and block as the number of concurrent submitter goroutines.
 	"server": func(s Size, b int) Workload { return NewServer(s.N, b, s.Steps) },
+	// qos is the two-class latency-SLO scenario: N keys, Steps
+	// interactive requests, block batch clients, priorities enabled.
+	"qos": func(s Size, b int) Workload { return NewQoSServer(s.N, s.Steps, b, true) },
 }
 
 // Build constructs a named workload or returns an error listing the

@@ -26,6 +26,8 @@ func WithGrain(n int) LoopOption {
 // WithAccesses declares data accesses on the loop task, ordering the
 // whole loop — one logical task, however many workers execute it —
 // against other tasks and loops through the usual dependency chains.
+// A WithPriority clause in the list sets the loop's scheduling level;
+// every chunk, wherever it is stolen to, runs at that level.
 func WithAccesses(accs ...AccessSpec) LoopOption {
 	return func(c *loopCfg) { c.accs = append(c.accs, accs...) }
 }

@@ -1,0 +1,147 @@
+package repro_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+// TestWithPriorityOrdersReadyTasks pins the façade-level contract on a
+// single worker: while the worker is busy, a batch of level-0 roots
+// and one MaxPriority root are queued; the priority root must run
+// before every queued batch root.
+func TestWithPriorityOrdersReadyTasks(t *testing.T) {
+	rt := repro.New(repro.WithWorkers(1))
+	defer rt.Close()
+
+	release := make(chan struct{})
+	gate := repro.Submit(rt, func(*repro.Ctx) (int, error) {
+		<-release
+		return 0, nil
+	})
+
+	var order []string
+	var mu atomic.Int32
+	record := func(s string) func(*repro.Ctx) (int, error) {
+		return func(*repro.Ctx) (int, error) {
+			for !mu.CompareAndSwap(0, 1) {
+			}
+			order = append(order, s)
+			mu.Store(0)
+			return 0, nil
+		}
+	}
+	var futs []*repro.Future[int]
+	for i := 0; i < 3; i++ {
+		futs = append(futs, repro.Submit(rt, record("batch")))
+	}
+	futs = append(futs, repro.Submit(rt, record("interactive"), repro.WithPriority(repro.MaxPriority)))
+	close(release)
+	for _, f := range futs {
+		if _, err := f.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := gate.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "interactive" {
+		t.Fatalf("first completed task = %q, want the priority task (order %v)", order[0], order)
+	}
+}
+
+// TestPriorityInheritance: children run at the spawning task's level
+// unless they carry their own clause, observable through Ctx.Priority.
+func TestPriorityInheritance(t *testing.T) {
+	rt := repro.New(repro.WithWorkers(2))
+	defer rt.Close()
+	var child, override atomic.Int32
+	err := rt.Run(func(c *repro.Ctx) {
+		c.Spawn(func(cc *repro.Ctx) { child.Store(int32(cc.Priority())) })
+		c.Spawn(func(cc *repro.Ctx) { override.Store(int32(cc.Priority())) }, repro.WithPriority(1))
+		c.Taskwait()
+	}, repro.WithPriority(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Load() != 2 {
+		t.Fatalf("child priority = %d, want inherited 2", child.Load())
+	}
+	if override.Load() != 1 {
+		t.Fatalf("override priority = %d, want 1", override.Load())
+	}
+}
+
+// TestWithPriorityClamps: out-of-range levels clamp instead of
+// panicking or leaking levels beyond the bounded range.
+func TestWithPriorityClamps(t *testing.T) {
+	rt := repro.New(repro.WithWorkers(1))
+	defer rt.Close()
+	for _, n := range []int{-5, repro.MaxPriority + 7} {
+		got := -1
+		err := rt.Run(func(c *repro.Ctx) { got = c.Priority() }, repro.WithPriority(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if n > 0 {
+			want = repro.MaxPriority
+		}
+		if got != want {
+			t.Fatalf("WithPriority(%d): level %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestGraphSetPriority: the named-graph layer threads node priorities
+// through to the underlying tasks, and unknown names are construction
+// errors.
+func TestGraphSetPriority(t *testing.T) {
+	rt := repro.New(repro.WithWorkers(2))
+	defer rt.Close()
+
+	var lvl atomic.Int32
+	g := repro.NewGraph().
+		Add("a", nil, func(c *repro.Ctx, _ map[string]any) (any, error) {
+			lvl.Store(int32(c.Priority()))
+			return 1, nil
+		}).
+		Add("b", []string{"a"}, func(c *repro.Ctx, deps map[string]any) (any, error) {
+			return deps["a"].(int) + 1, nil
+		}).
+		SetPriority("a", 3)
+	res, err := g.Run(nil, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := repro.Value[int](res, "b"); err != nil || v != 2 {
+		t.Fatalf("b = %v, %v", v, err)
+	}
+	if lvl.Load() != 3 {
+		t.Fatalf("node priority = %d, want 3", lvl.Load())
+	}
+
+	if _, err := repro.NewGraph().SetPriority("nope", 1).Run(nil, rt); err == nil {
+		t.Fatal("SetPriority on unknown task did not error")
+	}
+}
+
+// TestForEachPriorityViaAccesses: a loop takes its level through
+// WithAccesses, and every chunk runs at it.
+func TestForEachPriorityViaAccesses(t *testing.T) {
+	rt := repro.New(repro.WithWorkers(2))
+	defer rt.Close()
+	var bad atomic.Int32
+	err := repro.ForEach(rt, 0, 1000, func(c *repro.Ctx, lo, hi int) {
+		if c.Priority() != 2 {
+			bad.Store(1)
+		}
+	}, repro.WithGrain(64), repro.WithAccesses(repro.WithPriority(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatal("a chunk ran at the wrong priority level")
+	}
+}

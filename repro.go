@@ -70,6 +70,17 @@
 // by Taskwait like any other child); Graph.AddLoop places a loop
 // between named graph nodes.
 //
+// # Priorities
+//
+// Latency-sensitive work can jump ahead of batch work with a priority
+// clause in the access list — WithPriority(n) on Submit, Go, Spawn, a
+// loop's WithAccesses, or Graph.SetPriority for named tasks. Priority
+// orders *ready* tasks only: data dependencies always win, children
+// inherit their parent's level, and a bounded courtesy slot keeps
+// sustained high-priority load from starving the batch class. See
+// DESIGN.md ("Priority scheduling and QoS") for the per-scheduler
+// ordering guarantees.
+//
 // For named-DAG workloads, the Graph builder offers a declarative layer
 // on top of the same dependency engine:
 //
@@ -156,6 +167,25 @@ func WeakIn[T any](p *T) AccessSpec { return core.WeakIn(p) }
 
 // WeakInOut declares a weak read-write access ("weakinout(p)").
 func WeakInOut[T any](p *T) AccessSpec { return core.WeakInOut(p) }
+
+// MaxPriority is the highest scheduling priority level (level 0 is the
+// default); WithPriority clamps to [0, MaxPriority].
+const MaxPriority = core.MaxPriority
+
+// WithPriority declares the task's scheduling priority level, as a
+// pseudo access riding in the access list of Go, Submit, Spawn or a
+// loop's WithAccesses (the OmpSs-2 priority clause). It declares no
+// data dependency: among *ready* tasks, higher levels are scheduled
+// first — a priority never overtakes a data dependency, and sustained
+// high-priority load cannot starve level 0 indefinitely (the scheduler
+// grants the lowest waiting level a bounded courtesy slot). Children
+// inherit the spawning task's level unless they carry their own
+// clause; taskloop chunks run at their loop's level. Graph nodes take
+// theirs through Graph.SetPriority.
+//
+//	f := repro.Submit(rt, handle, repro.InOut(&row), repro.WithPriority(repro.MaxPriority))
+//	err := repro.ForEach(rt, 0, n, body, repro.WithAccesses(repro.WithPriority(1)))
+func WithPriority(n int) AccessSpec { return core.Priority(n) }
 
 // Scheduler, dependency-system, allocator and policy selectors.
 const (

@@ -104,6 +104,8 @@ func main() {
 			"run-to-run than ns/op means; the regression mode this gate exists for — "+
 			"the priority machinery going dark — is an order of magnitude)")
 	floorNs := flag.Float64("floor-ns", 50, "ignore ns/op regressions whose absolute delta is below this (noise floor)")
+	echoLatency := flag.Duration("echo-latency", bench.EchoBackendLatency,
+		"simulated backend round trip of the Echo benchmarks (longer = more in-flight capacity headroom, slower runs)")
 	flag.Parse()
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -115,6 +117,7 @@ func main() {
 		*count = 1
 	}
 	bench.RootShards = *rootShards
+	bench.EchoBackendLatency = *echoLatency
 
 	snap := snapshot{
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -185,6 +188,7 @@ func main() {
 			os.Exit(1)
 		}
 		regressions, warnings := compareSnapshots(old, snap, *threshold, *latThreshold, *floorNs)
+		regressions = append(regressions, echoCapacityCheck(snap)...)
 		for _, w := range warnings {
 			fmt.Println("warning: " + w)
 			if os.Getenv("GITHUB_ACTIONS") == "true" {
@@ -204,8 +208,40 @@ func main() {
 	}
 }
 
+// echoCapacityCheck enforces the external-events capacity invariant on
+// the current run, independent of any baseline: the events-mode echo
+// benchmark must sustain at least 10× the worker-blocking baseline's
+// in-flight request graphs per worker (the blocking mode is pinned at
+// 1.0 by construction — a request waiting on the backend is a sleeping
+// worker), at equal or better p99 request latency. This is a same-host
+// same-run ratio, so unlike the wall-clock gates it holds on every
+// host shape.
+func echoCapacityCheck(cur snapshot) []string {
+	ev, okEv := cur.Benchmarks["EchoEvents"]
+	bl, okBl := cur.Benchmarks["EchoBlocking"]
+	if !okEv || !okBl {
+		return nil
+	}
+	var out []string
+	evIn, blIn := ev.Extra["inflight-per-worker"], bl.Extra["inflight-per-worker"]
+	if blIn <= 0 || evIn < 10*blIn {
+		out = append(out, fmt.Sprintf(
+			"EchoEvents: %.1f inflight-per-worker vs blocking %.1f — events mode must sustain >= 10x",
+			evIn, blIn))
+	}
+	evP, blP := ev.Extra["p99-echo-ns"], bl.Extra["p99-echo-ns"]
+	if evP > blP {
+		out = append(out, fmt.Sprintf(
+			"EchoEvents: p99 %.0f ns worse than blocking baseline %.0f ns — freeing workers must not cost the tail",
+			evP, blP))
+	}
+	return out
+}
+
 // minExtras merges two custom-metric maps, keeping the per-key minimum
-// (all current metrics are wall-clock latencies where lower is better).
+// (for wall-clock latencies lower is better; for the echo
+// inflight-per-worker capacity the minimum is the conservative —
+// worst-run — value, which is what the capacity gate should see).
 // Either argument may be nil.
 func minExtras(a, b map[string]float64) map[string]float64 {
 	if a == nil {

@@ -8,7 +8,8 @@ import (
 
 // Future is the typed completion handle of a submitted task: it
 // delivers the task's result and error once the task has *fully*
-// completed (body finished and every descendant complete). Futures are
+// completed — body finished, every descendant complete, and every
+// external event registered through Ctx.Events drained. Futures are
 // created by Submit (root tasks) and Go (child tasks).
 type Future[T any] struct{ h *core.Handle }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deps"
@@ -409,6 +410,51 @@ func ServerQoS(usePriority bool) func(*testing.B) {
 	}
 }
 
+// Echo benchmark shape: 8 workers against clients×window = 1024
+// potential in-flight request graphs, so the events mode's concurrency
+// is bounded by the client windows while the blocking baseline is
+// bounded by the workers. The simulated backend round trip is long
+// relative to per-task overhead, making the inflight-per-worker metric
+// robust: the blocking mode pins it at exactly 1.0 (a waiting request
+// is a sleeping worker), so the events/blocking ratio measures how
+// many parked graphs each worker sustains.
+const (
+	echoWorkers = 8
+	echoKeys    = 4096
+	echoClients = 4
+	echoWindow  = 256
+)
+
+// EchoBackendLatency is the simulated backend round trip of the echo
+// benchmarks; cmd/benchjson's -echo-latency flag overrides it.
+var EchoBackendLatency = 5 * time.Millisecond
+
+// Echo returns the RPC-proxy benchmark in events or worker-blocking
+// mode. ns/op is wall time per request; the headline quantities are
+// inflight-per-worker (Little's-law mean request graphs concurrently
+// waiting on the backend, per worker — the capacity the events
+// subsystem buys) and p99-echo-ns (per-request latency from issue to
+// reply completion — what holding workers costs the tail when requests
+// queue behind sleeping workers).
+func Echo(blocking bool) func(*testing.B) {
+	return func(b *testing.B) {
+		rt := core.New(core.ConfigFor(core.VariantOptimized, echoWorkers, benchNUMA))
+		defer rt.Close()
+		e := workloads.NewEcho(echoKeys, echoClients, b.N, echoWindow, EchoBackendLatency, blocking)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := e.Run(rt); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := e.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(e.InflightPerWorker(), "inflight-per-worker")
+		b.ReportMetric(float64(e.Latency.Quantile(0.99)), "p99-echo-ns")
+	}
+}
+
 // Tier2 is the benchmark set cmd/benchjson snapshots into BENCH_*.json:
 // the perf trajectory future PRs compare against. It is the single
 // source of truth for the tier-2 names — the go test wrappers
@@ -438,6 +484,8 @@ var Tier2 = []struct {
 	{Name: "TaskloopSteadyState", F: TaskloopSteadyState},
 	{Name: "ServerQoSPriority", F: ServerQoS(true), DynamicAllocs: true},
 	{Name: "ServerQoSBlind", F: ServerQoS(false), DynamicAllocs: true},
+	{Name: "EchoEvents", F: Echo(false), DynamicAllocs: true},
+	{Name: "EchoBlocking", F: Echo(true), DynamicAllocs: true},
 }
 
 // Names returns the tier-2 benchmark names in snapshot order.

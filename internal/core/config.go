@@ -93,6 +93,18 @@ type Config struct {
 	// (regMu-style) root registration.
 	RootShards int
 
+	// EventSlots is the number of exclusive completer slots that
+	// external event decrements (EventCounter.Done from non-worker
+	// goroutines, timer-wheel firings) borrow to run the deferred
+	// release path. It bounds how many external completions can release
+	// concurrently — never correctness; excess completers wait for a
+	// slot. 0 selects 4.
+	EventSlots int
+	// EventTick is the granularity of the shared timer wheel behind
+	// Ctx.After/AfterFunc (0: 100µs). Timers never fire early; they
+	// round up to the next tick.
+	EventTick time.Duration
+
 	Scheduler SchedulerKind
 	Deps      DepsKind
 	Alloc     AllocKind
@@ -139,6 +151,9 @@ func (c Config) withDefaults() Config {
 	// One shared normalization with NewRootDomain, so introspection and
 	// worker-slot sizing always match the domain actually built.
 	c.RootShards = deps.NormalizeShards(c.RootShards)
+	if c.EventSlots <= 0 {
+		c.EventSlots = 4
+	}
 	return c
 }
 

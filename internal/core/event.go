@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// This file implements external events (the OmpSs-2/Nanos6
+// "external events" API): a task body may register out-of-band
+// completions — network callbacks, timers, channel readers — that must
+// fire before the task releases its dependencies and completes. The
+// worker that ran the body returns to the scheduler immediately; the
+// final decrement, from whatever goroutine it arrives on, runs the
+// release path. This is the mechanism that lets the runtime drive
+// I/O-bound request graphs without holding a worker per in-flight
+// request. See DESIGN.md ("External events") for the lifecycle and
+// pin-protocol invariants.
+
+// ErrRuntimeDraining is reported by root submissions rejected because
+// Runtime.Drain has sealed the runtime.
+var ErrRuntimeDraining = errors.New("runtime draining")
+
+// EventCounter defers its task's dependency release and completion
+// until every registered external completion has fired. Obtain one
+// inside a task body with Ctx.Events, call Add before the body
+// returns, and Done from any goroutine when the external work
+// finishes. The counter internally holds one guard for the body
+// itself, dropped when the body returns: the task releases at the
+// moment the count reaches zero, whether the last decrement lands
+// before or after the return (the decrement-before-return race is
+// resolved by the guard, not by the caller).
+//
+// After the final decrement the counter is spent: further Add or Done
+// calls panic, and the task — its successors now released, its handle
+// resolved — is recycled as usual.
+type EventCounter struct {
+	t  *Task
+	rt *Runtime
+	// n counts outstanding completions: 1 guard for the running body
+	// plus one per registered external event. The decrement that takes
+	// it to zero owns the release and immediately poisons the counter
+	// with eventsDrained, so a buggy late Add or Done panics instead of
+	// re-running the release on a recycled task shell.
+	n atomic.Int64
+}
+
+// eventsDrained poisons a spent counter: negative enough that no legal
+// Add can bring it back above zero.
+const eventsDrained = -1 << 40
+
+// Events returns the running task's event counter, creating it on
+// first use. It may only be called from the task's own body, and is
+// not supported on work-sharing loop tasks (a loop's completion is
+// already a multi-party barrier across claimed chunks; deferring it on
+// external events has no defined release point), where it panics.
+func (c *Ctx) Events() *EventCounter {
+	t := c.task
+	if t.loop != nil {
+		panic("repro: Events is not supported on work-sharing loop tasks")
+	}
+	if t.events == nil {
+		ec := &EventCounter{t: t, rt: c.rt}
+		ec.n.Store(1)
+		t.events = ec
+	}
+	return t.events
+}
+
+// Add registers n pending external completions (n > 0). It must be
+// called before the counter can drain — from the task's body, or from
+// a goroutine that already holds an undone registration.
+func (ec *EventCounter) Add(n int) {
+	if n <= 0 {
+		panic("repro: EventCounter.Add requires n > 0")
+	}
+	if ec.n.Add(int64(n)) <= int64(n) {
+		panic("repro: EventCounter.Add after the counter drained")
+	}
+}
+
+// Done signals one external completion; it may be called from any
+// goroutine. The call that drains the counter to zero runs the task's
+// dependency release and completion cascade — successors become ready,
+// the handle resolves, the scope unwinds — on an exclusive borrowed
+// completer slot.
+func (ec *EventCounter) Done() {
+	switch v := ec.n.Add(-1); {
+	case v > 0:
+	case v < 0:
+		panic("repro: EventCounter.Done without a matching Add")
+	default:
+		ec.n.Store(eventsDrained)
+		ec.rt.releaseExternal(ec.t)
+	}
+}
+
+// DoneFrom is Done called from inside another task's body: the final
+// decrement then reuses the calling worker's thread index instead of
+// borrowing a completer slot, and the release keeps the worker-only
+// fast paths — including the immediate-successor bypass, so a
+// successor readied by this decrement can run on the calling worker
+// right after the current body. c must be the Ctx of the task whose
+// body is executing the call.
+func (ec *EventCounter) DoneFrom(c *Ctx) {
+	switch v := ec.n.Add(-1); {
+	case v > 0:
+	case v < 0:
+		panic("repro: EventCounter.Done without a matching Add")
+	default:
+		ec.n.Store(eventsDrained)
+		ec.rt.releaseDeferred(ec.t, c.worker, true)
+	}
+}
+
+// releaseExternal runs the deferred release from a non-worker
+// goroutine. The release path touches thread-indexed structures
+// (dependency mailbox, allocator free list, scheduler insertion, trace
+// buffer), so it borrows an exclusive event-completer slot for its
+// duration; the slot count bounds completer parallelism, never
+// correctness (Acquire spins until a slot frees).
+func (rt *Runtime) releaseExternal(t *Task) {
+	slot := rt.evSlots.Acquire()
+	rt.releaseDeferred(t, slot, false)
+	rt.evSlots.Release(slot)
+}
+
+// releaseDeferred finishes the lifecycle of a task whose body returned
+// with events pending: the tail of execute that was skipped when the
+// task parked. The order is identical — commutative token release,
+// dependency unregister, completion cascade — so successors, handle
+// and scope observe exactly what an inline completion would have
+// produced. When the final decrementer is itself a worker (isWorker),
+// the bypass slot is armed around the unregister and any parked
+// successor chain is executed inline, matching the worker release
+// path; decrements from completer slots route every readied successor
+// through the scheduler (whose Add maintains the priority pending
+// counts — a deferred release never lets a successor jump a queued
+// higher-priority task).
+func (rt *Runtime) releaseDeferred(t *Task, id int, isWorker bool) {
+	rt.tracer.Emit(id, trace.KEventFire, 0)
+	t.node.ReleaseCommutative()
+	var next *Task
+	if isWorker {
+		bs := &rt.bypass[id]
+		bs.armed = true
+		rt.deps.Unregister(&t.node, id)
+		bs.armed = false
+		next = bs.next
+		bs.next = nil
+	} else {
+		rt.deps.Unregister(&t.node, id)
+	}
+	rt.completeOne(t, id)
+	rt.eventsHeld.v.Add(-1)
+	for next != nil {
+		next = rt.execute(next, id)
+	}
+}
+
+// After defers this task's completion by at least d without holding a
+// worker: it registers one event and schedules its completion on the
+// runtime's shared timer wheel. Successors (and Taskwait/Future
+// waiters) observe the task as complete only once the timer fires —
+// the task-shaped replacement for time.Sleep in a body, at the cost of
+// no worker and no goroutine. Multiple After calls (and explicit
+// Add/Done pairs) compose: the task completes when all have fired.
+func (c *Ctx) After(d time.Duration) {
+	ec := c.Events()
+	ec.Add(1)
+	c.rt.wheel.After(d, ec.Done)
+}
+
+// AfterFunc runs fn on the shared timer goroutine after at least d,
+// then completes one event — the simulated-I/O shape: write the
+// arrived response where successors will read it, in fn, and the
+// dependency order makes it visible to them. fn must be brief (it
+// shares the single wheel goroutine) and must not block.
+func (c *Ctx) AfterFunc(d time.Duration, fn func()) {
+	ec := c.Events()
+	ec.Add(1)
+	c.rt.wheel.After(d, func() { fn(); ec.Done() })
+}
+
+// Await blocks the running task until h resolves and returns its
+// result, executing other ready tasks on this worker meanwhile (the
+// same blocking-help loop as Taskwait). It is the in-task way to join
+// on a Handle — a bare Handle.Wait inside a body would park the worker
+// goroutine itself. Awaiting a handle whose completion depends on this
+// task deadlocks, exactly like a misplaced Taskwait.
+func (c *Ctx) Await(h *Handle) (any, error) {
+	c.rt.helpUntil(c.worker, func() bool {
+		select {
+		case <-h.done:
+			return true
+		default:
+			return false
+		}
+	})
+	return h.val, h.err
+}
+
+// Drain seals the runtime against new root submissions and waits until
+// every live task — including tasks parked on pending external events
+// — has fully completed. Sealed submissions (Run, Submit, loops)
+// resolve immediately with ErrRuntimeDraining. Drain returns nil on
+// quiescence or the context's cause if ctx fires first; the seal is
+// permanent either way, making Drain the graceful half of shutdown:
+//
+//	rt.Drain(ctx) // stop intake, let in-flight requests finish
+//	rt.Close()    // then stop the workers
+//
+// Concurrent and repeated calls are safe; they all wait for the same
+// quiescence.
+func (rt *Runtime) Drain(ctx context.Context) error {
+	rt.gate.Close()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for i := 0; ; i++ {
+		if rt.live.Sum() == 0 && rt.eventsHeld.v.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-done:
+			return context.Cause(ctx)
+		default:
+		}
+		if i < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// PendingEvents returns the number of tasks whose bodies have returned
+// but whose release is deferred on external events (diagnostics; exact
+// at quiescence like LiveTasks).
+func (rt *Runtime) PendingEvents() int64 { return rt.eventsHeld.v.Load() }

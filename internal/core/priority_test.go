@@ -355,7 +355,16 @@ type priCell struct {
 // runPriSpec executes the spec through a full runtime of the given
 // scheduler kind, with or without the priority tags, under the oracle.
 // It returns the final per-address versions.
-func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged bool) []int64 {
+//
+// With evented set, every second task defers its release through the
+// external-event subsystem: the body registers an event and the oracle
+// *unwind* (version bump, exclusivity exit) runs in the completion —
+// from a plain goroutine or from the shared timer wheel, alternating.
+// The oracle then checks deferral for real: if the runtime released
+// the task's dependencies at body return instead of at the final
+// decrement, a successor would observe an in-flight exclusive or a
+// stale version and report a violation.
+func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged, evented bool) []int64 {
 	t.Helper()
 	rt := New(Config{Workers: 4, Scheduler: sk})
 	defer rt.Close()
@@ -394,7 +403,7 @@ func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged bool) []int
 			if tagged {
 				specs = append(specs, Priority(task.pri))
 			}
-			c.Spawn(func(*Ctx) {
+			c.Spawn(func(cc *Ctx) {
 				if ran[ti].Add(1) != 1 {
 					violate("t%d executed more than once", ti)
 				}
@@ -424,14 +433,31 @@ func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged bool) []int
 						runtime.Gosched()
 					}
 				}
-				for i := len(task.accs) - 1; i >= 0; i-- {
-					cell := &cells[task.accs[i].addr]
-					if task.accs[i].typ != priIn {
-						cell.ver.Add(1)
-						cell.writers.Add(-1)
-					} else {
-						cell.readers.Add(-1)
+				unwind := func() {
+					for i := len(task.accs) - 1; i >= 0; i-- {
+						cell := &cells[task.accs[i].addr]
+						if task.accs[i].typ != priIn {
+							cell.ver.Add(1)
+							cell.writers.Add(-1)
+						} else {
+							cell.readers.Add(-1)
+						}
 					}
+				}
+				if evented && ti%2 == 0 {
+					if ti%4 == 0 {
+						ev := cc.Events()
+						ev.Add(1)
+						go func() {
+							runtime.Gosched()
+							unwind()
+							ev.Done()
+						}()
+					} else {
+						cc.AfterFunc(time.Duration(ti%3)*50*time.Microsecond, unwind)
+					}
+				} else {
+					unwind()
 				}
 			}, specs...)
 		}
@@ -448,8 +474,8 @@ func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged bool) []int
 	vmu.Lock()
 	defer vmu.Unlock()
 	if len(violations) > 0 {
-		t.Fatalf("sched=%s tagged=%v: oracle violations:\n  %s\nspec: %+v",
-			sk.testName(), tagged, violations[0], spec)
+		t.Fatalf("sched=%s tagged=%v evented=%v: oracle violations:\n  %s\nspec: %+v",
+			sk.testName(), tagged, evented, violations[0], spec)
 	}
 	final := make([]int64, spec.cells)
 	for a := range cells {
@@ -476,8 +502,8 @@ func TestPriorityDifferentialStress(t *testing.T) {
 			for round := 0; round < rounds; round++ {
 				seed := baseSeed + int64(round)
 				spec := genPriSpec(rand.New(rand.NewSource(seed)))
-				tagged := runPriSpec(t, sk, spec, true)
-				plain := runPriSpec(t, sk, spec, false)
+				tagged := runPriSpec(t, sk, spec, true, false)
+				plain := runPriSpec(t, sk, spec, false, false)
 				for a := range tagged {
 					if tagged[a] != plain[a] {
 						t.Fatalf("seed %d: final version of cell %d differs: tagged %d vs stripped %d",

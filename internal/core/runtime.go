@@ -12,6 +12,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/counter"
 	"repro/internal/deps"
+	"repro/internal/event"
 	"repro/internal/locks"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -84,8 +85,9 @@ type Runtime struct {
 
 	// bypass and wctx are per-worker hot-path state (successor bypass
 	// slots and reusable execution contexts), indexed by worker; bypass
-	// has extra slots for the submitter indices so the ready callback
-	// can index it unconditionally (submitter slots are never armed).
+	// has extra slots for the submitter and event-completer indices so
+	// the ready callback can index it unconditionally (the extra slots
+	// are never armed).
 	bypass []bypassSlot
 	wctx   []ctxSlot
 
@@ -112,6 +114,19 @@ type Runtime struct {
 	// never set a priority only ever *read* these (always-zero) lines
 	// on the bypass path, which stays cached and contention-free.
 	priPending [sched.PriorityLevels]paddedCount
+
+	// External-event machinery (see event.go): evSlots pools the
+	// exclusive thread indices non-worker goroutines borrow to run the
+	// deferred release path, wheel is the shared timer backing
+	// Ctx.After/AfterFunc, and gate seals root submission for Drain
+	// (entered under the registration lease's shard lock, so it adds no
+	// cross-submitter cache traffic). eventsHeld counts tasks parked
+	// between body return and final event decrement; together with the
+	// live counter it defines Drain's quiescence.
+	evSlots    *event.Slots
+	wheel      *event.Wheel
+	gate       *event.Gate
+	eventsHeld paddedCount
 
 	// noise state for the Figure 11 experiment. serves is sharded for
 	// the same reason as live; it is only touched while the experiment
@@ -169,10 +184,15 @@ func New(cfg Config) *Runtime {
 	// The thread-index space every per-"worker" structure is sized for:
 	// worker goroutines use [0, Workers), root submitters use
 	// [Workers, Workers+RootShards) — one slot per root shard, made
-	// exclusive by the shard's registration lock. Constructors below
-	// that take a worker count and add one slot themselves receive
-	// slots-1.
-	slots := cfg.Workers + cfg.RootShards
+	// exclusive by the shard's registration lock — and event completers
+	// use [Workers+RootShards, Workers+RootShards+EventSlots), made
+	// exclusive by the completer pool's per-slot mutexes. Constructors
+	// below that take a worker count and add one slot themselves
+	// receive slots-1.
+	slots := cfg.Workers + cfg.RootShards + cfg.EventSlots
+	rt.evSlots = event.NewSlots(cfg.Workers+cfg.RootShards, cfg.EventSlots)
+	rt.wheel = event.NewWheel(cfg.EventTick, 0)
+	rt.gate = event.NewGate(cfg.RootShards)
 	rt.live = counter.NewSharded(slots)
 	rt.serves = counter.NewSharded(slots)
 	rt.bypass = make([]bypassSlot, slots)
@@ -271,7 +291,7 @@ func New(cfg Config) *Runtime {
 	}
 	switch cfg.Scheduler {
 	case SchedSyncDTLock:
-		rt.sched = sched.NewSync(policy, cfg.Workers, cfg.RootShards, cfg.NUMANodes, cfg.SPSCCap, hooks)
+		rt.sched = sched.NewSync(policy, cfg.Workers, cfg.RootShards+cfg.EventSlots, cfg.NUMANodes, cfg.SPSCCap, hooks)
 	case SchedCentralPTLock:
 		rt.sched = sched.NewCentral(policy, slots-1)
 	case SchedBlocking:
@@ -369,6 +389,17 @@ func (rt *Runtime) submitRoot(ctx context.Context, body func(*Ctx), fn func(*Ctx
 	sc := newScope(ctx, rt.cfg.OnError)
 	h := newHandle()
 	lease := rt.rootDom.Acquire(accs)
+	// The drain gate is entered under the lease (the shard lock makes
+	// the per-shard count uncontended) and left once registration has
+	// raised the live count, which hands Drain's quiescence wait the
+	// task. A sealed runtime resolves the handle immediately.
+	if !rt.gate.Enter(lease.Slot()) {
+		lease.Release()
+		sc.release()
+		h.err = ErrRuntimeDraining
+		close(h.done)
+		return h
+	}
 	slot := rt.cfg.Workers + lease.Slot()
 	t := rt.newTask(&rt.global, body, accs, slot)
 	t.fn = fn
@@ -376,6 +407,7 @@ func (rt *Runtime) submitRoot(ctx context.Context, body func(*Ctx), fn func(*Ctx
 	t.handle = h
 	t.ownsScope = true
 	rt.registerWith(&rt.global, rt.rootDom, t, slot)
+	rt.gate.Leave(lease.Slot())
 	lease.Release()
 	return h
 }
@@ -525,11 +557,16 @@ func (rt *Runtime) takeWork(id int) *Task {
 	return rt.schedTook(rt.sched.TryGet(id))
 }
 
-// helpWhileChildren executes ready tasks on worker id until every child
-// of t (and their descendants) has fully completed. It is the waiting
-// half of Taskwait and of a loop owner's final-chunk barrier.
-func (rt *Runtime) helpWhileChildren(t *Task, id int) {
-	for i := 0; t.alive.Load() > 1; i++ {
+// helpUntil is the runtime's one blocking-help loop: execute ready
+// tasks on worker id until done() reports true, spin-yielding only
+// when no work is available. Every in-task wait routes through it —
+// Taskwait and the loop owner's final-chunk barrier (helpWhileChildren)
+// and the handle wait of Ctx.Await — so "waiting means helping" is
+// implemented (and tuned) in exactly one place. done must be cheap; it
+// is polled between tasks. The func value is only called, never
+// stored, so closure arguments stay on the caller's stack.
+func (rt *Runtime) helpUntil(id int, done func() bool) {
+	for i := 0; !done(); i++ {
 		if other := rt.takeWork(id); other != nil {
 			// Execute the task and any bypassed successor chain it
 			// releases; helping with ready work is the point of the loop.
@@ -543,11 +580,24 @@ func (rt *Runtime) helpWhileChildren(t *Task, id int) {
 	}
 }
 
+// helpWhileChildren executes ready tasks on worker id until every child
+// of t (and their descendants) has fully completed. It is the waiting
+// half of Taskwait and of a loop owner's final-chunk barrier.
+func (rt *Runtime) helpWhileChildren(t *Task, id int) {
+	rt.helpUntil(id, func() bool { return t.alive.Load() <= 1 })
+}
+
 // execute runs one ready task to completion on worker id: commutative
 // token acquisition, body, dependency release, completion cascade. It
 // returns the bypassed immediate successor, if the dependency release
 // readied exactly one eligible task on this worker: the caller's loop
 // executes it next without a scheduler round-trip.
+//
+// A body that registered external events (Ctx.Events) may return with
+// completions still pending; the task then *parks* — everything after
+// the body (commutative release, unregister, completeOne) is deferred
+// to the final event decrement (releaseDeferred) — and execute returns
+// nil so the worker is immediately available for other work.
 //
 // If the task's scope has been cancelled (caller context done, or an
 // earlier error under FailFast), the body is skipped entirely — but the
@@ -575,6 +625,27 @@ func (rt *Runtime) execute(t *Task, id int) *Task {
 		rt.tracer.Emit(id, trace.KTaskStart, 0)
 		rt.runBody(t, id)
 		rt.tracer.Emit(id, trace.KTaskEnd, 0)
+		if ec := t.events; ec != nil {
+			// The body obtained an event counter: drop its guard. If
+			// external completions are still pending the task parks —
+			// dependency release and completion are deferred to the
+			// final decrement (releaseDeferred) — and this worker goes
+			// straight back for more work. Pin-protocol note: the
+			// creation pin and the alive guard both survive the park
+			// (completeOne has not run), so the shell cannot be
+			// recycled under the pending events. eventsHeld is raised
+			// before the guard drop so Drain can never observe live==0
+			// with a release still in flight. After a losing guard
+			// drop, t belongs to the final decrementer and must not be
+			// touched here.
+			rt.eventsHeld.v.Add(1)
+			if ec.n.Add(-1) > 0 {
+				rt.tracer.Emit(id, trace.KEventHold, 0)
+				return nil
+			}
+			ec.n.Store(eventsDrained) // spent: late Add/Done must panic
+			rt.eventsHeld.v.Add(-1)
+		}
 		t.node.ReleaseCommutative()
 	}
 
@@ -721,11 +792,16 @@ func (rt *Runtime) maybeInjectNoise(owner int) {
 }
 
 // Close shuts the runtime down after all submitted work has finished.
-// It must not be called concurrently with Run.
+// It must not be called concurrently with Run. (Use Drain first to
+// quiesce a runtime that still has submissions or pending events in
+// flight.) The timer wheel stops after the workers: a worker exits
+// only at live==0, which a pending timer's task prevents, so stopping
+// the wheel earlier could strand the pool.
 func (rt *Runtime) Close() {
 	rt.stopping.Store(true)
 	rt.sched.Stop()
 	rt.wg.Wait()
+	rt.wheel.Stop()
 }
 
 // LiveTasks returns the number of tasks created but not yet fully

@@ -40,6 +40,14 @@ type Task struct {
 	// is why resetBody does not touch it.
 	loop *loopState
 
+	// events, when non-nil, is the task's external-event counter
+	// (lazily created by Ctx.Events): the body returned — or will
+	// return — with out-of-band completions pending, and the release
+	// path runs at the final decrement instead of inline in execute.
+	// Heap-allocated on purpose: a buggy late Done must panic on the
+	// drained counter, not corrupt a recycled shell.
+	events *EventCounter
+
 	// pri is the task's scheduling priority level, in
 	// [0, MaxPriority]. It is inherited from the parent at creation
 	// (children of an interactive request stay interactive; taskloop
@@ -68,6 +76,7 @@ func (t *Task) resetBody() {
 	t.sc = nil
 	t.handle = nil
 	t.ownsScope = false
+	t.events = nil
 	t.alive.Store(0)
 }
 

@@ -1,0 +1,87 @@
+package event
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Gate is a drain gate in the style of gvisor's sync.Gate: concurrent
+// operations Enter and Leave it, and Close seals it and waits for the
+// operations currently inside to finish — after which Enter always
+// fails, so the protected resource can shut down knowing no operation
+// is in flight.
+//
+// Unlike gvisor's single-counter gate, the count is sharded: callers
+// that already hold a natural shard index (the runtime's root
+// submitters enter under their registration shard's lock) stay on
+// their own cache line, so the gate adds no cross-submitter traffic to
+// the hot submit path.
+//
+// Memory ordering: Enter increments its shard *before* loading the
+// closed flag, and Close stores the flag *before* summing the shards
+// (Go atomics are sequentially consistent). So either Enter observes
+// the close and backs out, or Close's sum observes the increment and
+// waits for the matching Leave — an entrant can never slip through a
+// closing gate unseen.
+type Gate struct {
+	closed atomic.Bool
+	shards []gateShard
+}
+
+// gateShard is one cache-line-isolated entrant count.
+type gateShard struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// NewGate returns an open gate with n count shards (minimum 1).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{shards: make([]gateShard, n)}
+}
+
+// Enter tries to enter the gate on the given shard. It returns false if
+// the gate is closed; on true the caller must Leave on the same shard
+// when its operation completes.
+func (g *Gate) Enter(shard int) bool {
+	s := &g.shards[shard]
+	s.n.Add(1)
+	if g.closed.Load() {
+		s.n.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Leave exits the gate on the shard passed to the matching Enter.
+func (g *Gate) Leave(shard int) {
+	g.shards[shard].n.Add(-1)
+}
+
+// Close seals the gate — every subsequent Enter fails — and waits for
+// all current entrants to Leave. Entrants are short (a root
+// registration), so the wait yields rather than parks. Close is
+// idempotent and safe to call concurrently.
+func (g *Gate) Close() {
+	g.closed.Store(true)
+	for i := 0; ; i++ {
+		sum := int64(0)
+		for s := range g.shards {
+			sum += g.shards[s].n.Load()
+		}
+		if sum == 0 {
+			return
+		}
+		if i < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (g *Gate) Closed() bool { return g.closed.Load() }

@@ -1,0 +1,65 @@
+package event
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Slots is a pool of exclusive thread indices for goroutines that are
+// neither workers nor root submitters but must run thread-indexed
+// runtime code — the final event decrement runs the whole dependency
+// release and completion path, and every per-thread structure it
+// touches (dependency mailbox, allocator free list, scheduler
+// insertion, trace buffer) requires an index unique among concurrent
+// callers. The pool hands out indices [base, base+n) guarded by one
+// mutex each; Acquire round-robins a cursor over the slots and takes
+// the first free one, spinning (with yields) when all n are busy.
+// Release paths are short and never block on user code, so a small n
+// bounds completer parallelism without risking deadlock.
+type Slots struct {
+	base int
+	next atomic.Uint32
+	mus  []paddedMutex
+}
+
+// paddedMutex keeps neighbouring slot locks off one cache line.
+type paddedMutex struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// NewSlots returns a pool of n exclusive indices starting at base.
+func NewSlots(base, n int) *Slots {
+	if n < 1 {
+		n = 1
+	}
+	return &Slots{base: base, mus: make([]paddedMutex, n)}
+}
+
+// Acquire returns an exclusive thread index; the caller must Release it
+// from the same goroutine.
+func (s *Slots) Acquire() int {
+	k := int(s.next.Add(1))
+	n := len(s.mus)
+	for i := 0; ; i++ {
+		idx := (k + i) % n
+		if s.mus[idx].mu.TryLock() {
+			return s.base + idx
+		}
+		if (i+1)%n == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Release returns a slot obtained from Acquire.
+func (s *Slots) Release(slot int) {
+	s.mus[slot-s.base].mu.Unlock()
+}
+
+// Base returns the first index of the pool's range.
+func (s *Slots) Base() int { return s.base }
+
+// Len returns the number of slots in the pool.
+func (s *Slots) Len() int { return len(s.mus) }

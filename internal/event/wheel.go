@@ -1,0 +1,168 @@
+// Package event provides the building blocks of the runtime's external
+// event subsystem (the Nanos6 "external events" API): the mechanism
+// that lets a task's dependency release and completion be deferred past
+// its body's return until out-of-band completions — network callbacks,
+// timers, channel readers — fire from arbitrary goroutines, while the
+// worker that ran the body goes straight back to the scheduler.
+//
+// The package is deliberately core-agnostic (it knows nothing about
+// tasks); it contributes three primitives the core wires together:
+//
+//   - Wheel: a hashed timing wheel with one shared, lazily started
+//     goroutine, so timer-deferred completions (Ctx.After) cost no
+//     worker and no per-timer goroutine.
+//   - Slots: a small pool of exclusive thread indices that non-worker
+//     goroutines borrow to run the release path, which requires a
+//     thread index that is unique among concurrent callers (dependency
+//     mailboxes, allocator free lists, scheduler insertion).
+//   - Gate: a sharded drain gate in the style of gvisor's sync.Gate,
+//     the shutdown story Runtime.Drain builds on.
+package event
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultTick is the wheel granularity when the caller passes none:
+// fine enough that millisecond-scale simulated I/O keeps sub-10%
+// quantization, coarse enough that the ticker goroutine stays cold.
+const defaultTick = 100 * time.Microsecond
+
+// defaultBuckets is the wheel size (a power of two); timers beyond one
+// revolution carry a remaining-rounds count, so the size only affects
+// how many are rescanned per tick, not how far ahead After can look.
+const defaultBuckets = 256
+
+// timer is one scheduled callback: fn fires when its bucket comes up
+// with rounds at zero.
+type timer struct {
+	rounds int32
+	fn     func()
+}
+
+// Wheel is a hashed timing wheel: After hashes each callback into the
+// bucket tick-count slots ahead of the cursor, and a single goroutine
+// — started lazily on the first timer, stopped by Stop — advances the
+// cursor once per tick and fires the due bucket entries. Callbacks run
+// on that goroutine, so they must be brief or hand off; firing is
+// never early (a partial current tick rounds up) but can be late under
+// scheduling pressure, which is the usual timer contract.
+type Wheel struct {
+	tick time.Duration
+
+	mu      sync.Mutex
+	buckets [][]timer
+	cur     int
+	started bool
+	stopped bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewWheel returns a wheel with the given tick granularity and bucket
+// count (0 selects the defaults; buckets are rounded up to a power of
+// two). The ticker goroutine starts on the first After call.
+func NewWheel(tick time.Duration, buckets int) *Wheel {
+	if tick <= 0 {
+		tick = defaultTick
+	}
+	if buckets <= 0 {
+		buckets = defaultBuckets
+	}
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	return &Wheel{tick: tick, buckets: make([][]timer, n)}
+}
+
+// Tick returns the wheel's granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// After schedules fn to run on the wheel goroutine no earlier than d
+// from now (rounded up to the next tick boundary). If the wheel has
+// already been stopped, fn runs on a fresh goroutine instead — the
+// runtime only stops the wheel after quiescence, so this path exists
+// for shutdown races, not for steady state.
+func (w *Wheel) After(d time.Duration, fn func()) {
+	ticks := 1
+	if d > 0 {
+		// +1 covers the partially elapsed current tick: a timer must
+		// never fire early, even when scheduled just before a tick edge.
+		ticks = int(d/w.tick) + 1
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		go fn()
+		return
+	}
+	if !w.started {
+		w.started = true
+		w.stop = make(chan struct{})
+		w.wg.Add(1)
+		go w.run()
+	}
+	slot := (w.cur + ticks) & (len(w.buckets) - 1)
+	w.buckets[slot] = append(w.buckets[slot], timer{
+		rounds: int32(ticks / len(w.buckets)),
+		fn:     fn,
+	})
+	w.mu.Unlock()
+}
+
+// run is the wheel goroutine: advance the cursor each tick, collect the
+// due entries of the new current bucket under the lock, fire them
+// outside it (a callback may call After and re-enter the lock).
+func (w *Wheel) run() {
+	defer w.wg.Done()
+	tk := time.NewTicker(w.tick)
+	defer tk.Stop()
+	var due []timer
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tk.C:
+			w.mu.Lock()
+			w.cur = (w.cur + 1) & (len(w.buckets) - 1)
+			b := w.buckets[w.cur]
+			keep := b[:0]
+			for _, t := range b {
+				if t.rounds > 0 {
+					t.rounds--
+					keep = append(keep, t)
+				} else {
+					due = append(due, t)
+				}
+			}
+			w.buckets[w.cur] = keep
+			w.mu.Unlock()
+			for i := range due {
+				due[i].fn()
+				due[i].fn = nil
+			}
+			due = due[:0]
+		}
+	}
+}
+
+// Stop terminates the wheel goroutine and waits for it to exit. Timers
+// still scheduled are dropped — the runtime calls Stop only after every
+// task (and therefore every pending event) has drained. Stop is
+// idempotent.
+func (w *Wheel) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		close(w.stop)
+		w.wg.Wait()
+	}
+}

@@ -37,6 +37,8 @@ const (
 	KTaskwaitEnd
 	KInterrupt  // simulated kernel interrupt of Arg nanoseconds
 	KTaskCancel // task drained without executing (scope cancelled)
+	KEventHold  // body returned with external events pending; release deferred
+	KEventFire  // final event decrement ran the deferred release
 	kindMax
 )
 
@@ -47,6 +49,7 @@ var kindNames = [...]string{
 	KDepRegister: "dep-register", KDepUnregister: "dep-unregister",
 	KTaskwaitStart: "taskwait-start", KTaskwaitEnd: "taskwait-end",
 	KInterrupt: "interrupt", KTaskCancel: "task-cancel",
+	KEventHold: "event-hold", KEventFire: "event-fire",
 }
 
 // String returns the event kind's name.

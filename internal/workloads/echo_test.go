@@ -1,0 +1,200 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestEchoBothModesVerify runs the echo scenario in events mode and in
+// the worker-blocking baseline on the same runtime and demands the
+// bit-exact serial result from both.
+func TestEchoBothModesVerify(t *testing.T) {
+	rt := newTestRuntime(core.VariantOptimized)
+	defer rt.Close()
+	for _, blocking := range []bool{false, true} {
+		name := "events"
+		if blocking {
+			name = "blocking"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := NewEcho(32, 4, 300, 16, 200*time.Microsecond, blocking)
+			if err := e.Run(rt); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.Latency.Count(); got != 300 {
+				t.Fatalf("recorded %d latencies, want 300", got)
+			}
+		})
+	}
+}
+
+// TestEchoOpenLoopArrivals drives the echo clients on a Poisson
+// open-loop schedule and checks the result stays exact and every
+// request's latency is recorded against its scheduled instant.
+func TestEchoOpenLoopArrivals(t *testing.T) {
+	rt := newTestRuntime(core.VariantOptimized)
+	defer rt.Close()
+	const requests = 200
+	e := NewEcho(32, 4, requests, 16, 200*time.Microsecond, false)
+	e.SetArrivals(PoissonArrivals(requests, 50*time.Microsecond, 1))
+	if err := e.Run(rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Latency.Count(); got != requests {
+		t.Fatalf("recorded %d latencies, want %d", got, requests)
+	}
+}
+
+// TestArrivalsSchedules pins the schedule generators: fixed arrivals
+// are an exact lattice, Poisson arrivals are strictly increasing and
+// deterministic per seed, and Pace never returns an instant other than
+// the scheduled one — a late issuer still charges its delay to the
+// request (no coordinated omission).
+func TestArrivalsSchedules(t *testing.T) {
+	f := FixedArrivals(5, time.Millisecond)
+	for i, off := range f {
+		if off != time.Duration(i)*time.Millisecond {
+			t.Fatalf("fixed arrival %d at %v", i, off)
+		}
+	}
+	p1 := PoissonArrivals(100, time.Millisecond, 42)
+	p2 := PoissonArrivals(100, time.Millisecond, 42)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("poisson schedule not deterministic at %d: %v vs %v", i, p1[i], p2[i])
+		}
+		if i > 0 && p1[i] <= p1[i-1] {
+			t.Fatalf("poisson schedule not increasing at %d", i)
+		}
+	}
+	// Pace of an instant already in the past returns the scheduled
+	// instant, not now.
+	start := time.Now().Add(-time.Second)
+	sched := FixedArrivals(2, 100*time.Millisecond).Pace(start, 1)
+	if want := start.Add(100 * time.Millisecond); !sched.Equal(want) {
+		t.Fatalf("Pace returned %v, want scheduled %v", sched, want)
+	}
+}
+
+// TestQoSOpenLoopInteractive switches the QoS scenario's interactive
+// client to an open-loop schedule and checks the run stays exact with
+// every interactive latency recorded.
+func TestQoSOpenLoopInteractive(t *testing.T) {
+	rt := newTestRuntime(core.VariantOptimized)
+	defer rt.Close()
+	s := NewQoSServer(64, 8, 2, true)
+	s.SetInteractiveArrivals(FixedArrivals(8, 500*time.Microsecond))
+	if err := s.Run(rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Interactive.Count(); got != 8 {
+		t.Fatalf("recorded %d interactive latencies, want 8", got)
+	}
+}
+
+// TestTenThousandInflightGraphsOnEightWorkers is the tentpole
+// acceptance check, phrased deterministically: 10,000 echo-style
+// request graphs are driven to the parked state *simultaneously* on an
+// 8-worker runtime — every backend body has returned with its event
+// pending, so PendingEvents reports all 10,000 — before a handful of
+// completer goroutines fire the "responses". The run must then drain
+// completely and verify bit-exact, proving in-flight capacity is
+// bounded by memory, not by workers (the blocking baseline caps at 8).
+func TestTenThousandInflightGraphsOnEightWorkers(t *testing.T) {
+	const (
+		requests = 10_000
+		nkeys    = 64
+	)
+	rt := core.New(core.Config{Workers: 8})
+	defer rt.Close()
+
+	keys := make([]float64, nkeys)
+	for i := range keys {
+		keys[i] = float64(1 + i%9)
+	}
+	stage := make([]float64, requests)
+	resp := make([]float64, requests)
+	evs := make([]*core.EventCounter, requests)
+	reqKey := func(r int) int { return int(uint64(r) * 2654435761 % uint64(nkeys)) }
+	reqDelta := func(r int) float64 { return float64(1 + (r*7+3)%11) }
+
+	replies := make([]*core.Handle, requests)
+	for r := 0; r < requests; r++ {
+		r := r
+		st, rp := &stage[r], &resp[r]
+		key := &keys[reqKey(r)]
+		rt.Submit(func(*core.Ctx) (any, error) {
+			*st = reqDelta(r)
+			return nil, nil
+		}, core.Out(st))
+		rt.Submit(func(c *core.Ctx) (any, error) {
+			ec := c.Events()
+			ec.Add(1)
+			evs[r] = ec // published to the firing goroutines via PendingEvents below
+			return nil, nil
+		}, core.In(st), core.Out(rp))
+		replies[r] = rt.Submit(func(*core.Ctx) (any, error) {
+			*key += *rp
+			return nil, nil
+		}, core.In(rp), core.InOut(key))
+	}
+
+	// Every backend body must return with its event pending: all 10k
+	// graphs parked at once, no worker held.
+	deadline := time.Now().Add(30 * time.Second)
+	for rt.PendingEvents() != requests {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d graphs parked on events", rt.PendingEvents(), requests)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fire the 10k responses from 8 external goroutines.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := g; r < requests; r += 8 {
+				resp[r] = stage[r] * 2
+				evs[r].Done()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for r, h := range replies {
+		if _, err := h.Wait(nil); err != nil {
+			t.Fatalf("reply %d: %v", r, err)
+		}
+	}
+
+	for k := 0; k < nkeys; k++ {
+		want := float64(1 + k%9)
+		for r := 0; r < requests; r++ {
+			if reqKey(r) == k {
+				want += reqDelta(r) * 2
+			}
+		}
+		if keys[k] != want {
+			t.Fatalf("key %d = %v, want %v", k, keys[k], want)
+		}
+	}
+	if live := rt.LiveTasks(); live != 0 {
+		t.Fatalf("LiveTasks = %d after drain, want 0", live)
+	}
+	if pend := rt.PendingEvents(); pend != 0 {
+		t.Fatalf("PendingEvents = %d after drain, want 0", pend)
+	}
+}

@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Arrivals is a precomputed open-loop arrival schedule: entry i is the
+// offset from the schedule's start at which request i should be
+// issued. Open-loop clients issue on the schedule regardless of how
+// fast earlier requests complete, and latency is measured from the
+// *scheduled* instant — so a slow server sees queueing delay in the
+// recorded tail instead of silently throttling the load (the
+// coordinated-omission error of closed-loop measurement).
+type Arrivals []time.Duration
+
+// FixedArrivals returns n arrivals at a constant interval (a
+// deterministic rate of 1/interval).
+func FixedArrivals(n int, interval time.Duration) Arrivals {
+	a := make(Arrivals, n)
+	for i := range a {
+		a[i] = time.Duration(i) * interval
+	}
+	return a
+}
+
+// PoissonArrivals returns n arrivals of a Poisson process with the
+// given mean inter-arrival time, deterministic per seed (exponential
+// gaps, the standard open-loop traffic model).
+func PoissonArrivals(n int, mean time.Duration, seed int64) Arrivals {
+	rng := rand.New(rand.NewSource(seed))
+	a := make(Arrivals, n)
+	var t float64
+	for i := range a {
+		t += rng.ExpFloat64() * float64(mean)
+		a[i] = time.Duration(t)
+	}
+	return a
+}
+
+// Pace sleeps until the i-th scheduled instant relative to start and
+// returns that instant. The return value — not time.Now() — is the
+// latency origin for request i: an issuer running behind schedule
+// issues immediately but still charges the accumulated delay to the
+// request, keeping the measurement free of coordinated omission.
+func (a Arrivals) Pace(start time.Time, i int) time.Time {
+	sched := start.Add(a[i])
+	if d := time.Until(sched); d > 0 {
+		time.Sleep(d)
+	}
+	return sched
+}

@@ -215,6 +215,14 @@ type QoSServer struct {
 	// dominating the request count, Elapsed/batchRequests is the batch
 	// throughput cost the QoS layer must not degrade.
 	Elapsed time.Duration
+
+	// interArrivals, when set, switches the interactive client from
+	// closed-loop (one outstanding request, latency from issue time) to
+	// open-loop: requests are issued on the schedule regardless of
+	// completions, and each latency is measured from its *scheduled*
+	// instant, so scheduler-induced queueing shows up in the tail
+	// instead of throttling the offered load (no coordinated omission).
+	interArrivals Arrivals
 }
 
 const (
@@ -332,11 +340,11 @@ type qosInflight struct {
 
 // submitChain issues one compute→apply request chain, optionally
 // tagged with the interactive priority level. The apply body records
-// the request's server-side latency (submission start to apply
-// completion) into the executing worker's shard of hist.
-func (s *QoSServer) submitChain(rt *core.Runtime, stage, key *float64, delta float64, pri bool, hist *counter.Histogram) qosInflight {
+// the request's server-side latency — from t0, the request's issue (or
+// open-loop scheduled) instant, to apply completion — into the
+// executing worker's shard of hist.
+func (s *QoSServer) submitChain(rt *core.Runtime, stage, key *float64, delta float64, pri bool, hist *counter.Histogram, t0 time.Time) qosInflight {
 	spin := s.spin
-	t0 := time.Now()
 	var f qosInflight
 	compute := func(*core.Ctx) (any, error) {
 		*stage = delta + spinWork(delta, spin)
@@ -402,7 +410,7 @@ func (s *QoSServer) Run(rt *core.Runtime) error {
 				i := n % qosBatchWindow
 				win[i].await(&errs[g])
 				win[i] = s.submitChain(rt,
-					&s.batchStage[r], &s.keys[s.batchKey(r)], s.batchDelta(r), false, s.Batch)
+					&s.batchStage[r], &s.keys[s.batchKey(r)], s.batchDelta(r), false, s.Batch, time.Now())
 			}
 			s.batchIssued[g] = n
 			for i := range win {
@@ -414,10 +422,30 @@ func (s *QoSServer) Run(rt *core.Runtime) error {
 	go func() {
 		defer wg.Done()
 		defer s.stop.Store(true)
+		if s.interArrivals == nil {
+			// Closed loop: one outstanding request, latency from issue.
+			for r := 0; r < s.interRequests; r++ {
+				f := s.submitChain(rt,
+					&s.interStage[r], &s.keys[s.interKey(r)], s.interDelta(r), s.usePriority, s.Interactive, time.Now())
+				f.await(&errs[s.batchClients])
+			}
+			return
+		}
+		// Open loop: issue on the schedule without waiting for earlier
+		// requests; latency origins are the scheduled instants.
+		inflight := make([]qosInflight, s.interRequests)
+		sched0 := time.Now()
 		for r := 0; r < s.interRequests; r++ {
-			f := s.submitChain(rt,
-				&s.interStage[r], &s.keys[s.interKey(r)], s.interDelta(r), s.usePriority, s.Interactive)
-			f.await(&errs[s.batchClients])
+			i := r
+			if i >= len(s.interArrivals) {
+				i = len(s.interArrivals) - 1
+			}
+			t0 := s.interArrivals.Pace(sched0, i)
+			inflight[r] = s.submitChain(rt,
+				&s.interStage[r], &s.keys[s.interKey(r)], s.interDelta(r), s.usePriority, s.Interactive, t0)
+		}
+		for r := range inflight {
+			inflight[r].await(&errs[s.batchClients])
 		}
 	}()
 	wg.Wait()
@@ -429,6 +457,12 @@ func (s *QoSServer) Run(rt *core.Runtime) error {
 	}
 	return nil
 }
+
+// SetInteractiveArrivals switches the interactive client to the given
+// open-loop schedule (nil restores the closed-loop default). The
+// schedule should hold one entry per interactive request; a shorter
+// one issues the surplus requests immediately at its last instant.
+func (s *QoSServer) SetInteractiveArrivals(a Arrivals) { s.interArrivals = a }
 
 // BatchRequests returns the number of batch requests the last Run
 // issued (stop-controlled, so it varies with host speed; the traffic

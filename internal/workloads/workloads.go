@@ -15,6 +15,7 @@ package workloads
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deps"
@@ -80,6 +81,12 @@ var Registry = map[string]Builder{
 	// qos is the two-class latency-SLO scenario: N keys, Steps
 	// interactive requests, block batch clients, priorities enabled.
 	"qos": func(s Size, b int) Workload { return NewQoSServer(s.N, s.Steps, b, true) },
+	// echo is the external-events RPC-proxy scenario: N keys, Steps
+	// requests, block client goroutines, a 1ms simulated backend in
+	// events (non-blocking) mode with a 64-deep window per client.
+	"echo": func(s Size, b int) Workload {
+		return NewEcho(s.N, b, s.Steps, 64, time.Millisecond, false)
+	},
 }
 
 // Build constructs a named workload or returns an error listing the

@@ -25,6 +25,7 @@ func smallSizes() map[string]struct {
 		"miniamr":    {Size{N: 512, Steps: 6}, 64},
 		"server":     {Size{N: 32, Steps: 600}, 8},
 		"qos":        {Size{N: 64, Steps: 10}, 3},
+		"echo":       {Size{N: 32, Steps: 300}, 4},
 	}
 }
 

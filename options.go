@@ -78,6 +78,22 @@ func WithPinnedWorkers() Option {
 	return func(c *core.Config) { c.PinWorkers = true }
 }
 
+// WithEventSlots sets the number of exclusive completer slots external
+// event decrements borrow when the final Done arrives from a
+// non-worker goroutine. The count bounds completer parallelism, never
+// correctness (a decrementer spins until a slot frees); 0 selects the
+// default of 4.
+func WithEventSlots(n int) Option {
+	return func(c *core.Config) { c.EventSlots = n }
+}
+
+// WithEventTick sets the resolution of the shared timer wheel behind
+// Ctx.After and Ctx.AfterFunc; 0 selects the default of 100µs. Timers
+// round up — a completion never fires earlier than its delay.
+func WithEventTick(d time.Duration) Option {
+	return func(c *core.Config) { c.EventTick = d }
+}
+
 // WithTracing enables the instrumentation backend with the given
 // per-core event capacity (<= 0 selects the default capacity).
 func WithTracing(capacity int) Option {

@@ -70,6 +70,26 @@
 // by Taskwait like any other child); Graph.AddLoop places a loop
 // between named graph nodes.
 //
+// # External events (async completion)
+//
+// A task waiting on I/O should not hold a worker. The events API (the
+// OmpSs-2 external-events construct) lets a body register out-of-band
+// completions and return immediately; the task's dependency release,
+// successors, and Future all wait for the last completion, fired from
+// any goroutine:
+//
+//	f := repro.Submit(rt, repro.WithEvents(func(c *repro.Ctx, ev *repro.EventCounter) (int, error) {
+//		ev.Add(1)
+//		go func() { resp = callBackend(req); ev.Done() }()
+//		return 0, nil // worker freed here; f resolves at Done
+//	}), repro.Out(&resp))
+//
+// Ctx.After / Ctx.AfterFunc schedule completions on a shared timer
+// wheel (a worker-free sleep), Ctx.Await and the typed Await join on a
+// future while helping with other ready tasks, and Runtime.Drain
+// seals new submissions and waits for all in-flight work — including
+// event-parked tasks — before Close.
+//
 // # Priorities
 //
 // Latency-sensitive work can jump ahead of batch work with a priority

@@ -189,6 +189,7 @@ func main() {
 		}
 		regressions, warnings := compareSnapshots(old, snap, *threshold, *latThreshold, *floorNs)
 		regressions = append(regressions, echoCapacityCheck(snap)...)
+		regressions = append(regressions, graphServeCheck(snap)...)
 		for _, w := range warnings {
 			fmt.Println("warning: " + w)
 			if os.Getenv("GITHUB_ACTIONS") == "true" {
@@ -234,6 +235,34 @@ func echoCapacityCheck(cur snapshot) []string {
 		out = append(out, fmt.Sprintf(
 			"EchoEvents: p99 %.0f ns worse than blocking baseline %.0f ns — freeing workers must not cost the tail",
 			evP, blP))
+	}
+	return out
+}
+
+// graphServeCheck enforces the compiled-template serving invariants on
+// the current run, independent of any baseline: compiling the DAG once
+// must buy at least 5× the request throughput of the per-request
+// interpreted path on the symphony fan-in template, and the compiled
+// fast path must stay allocation-free at steady state. Like the echo
+// capacity check these are same-host same-run ratios (and an exact
+// counter), so they hold on every host shape.
+func graphServeCheck(cur snapshot) []string {
+	cp, okC := cur.Benchmarks["GraphServeCompiled"]
+	ip, okI := cur.Benchmarks["GraphServeInterpreted"]
+	if !okC || !okI {
+		return nil
+	}
+	var out []string
+	cr, ir := cp.Extra["req/s"], ip.Extra["req/s"]
+	if ir <= 0 || cr < 5*ir {
+		out = append(out, fmt.Sprintf(
+			"GraphServeCompiled: %.0f req/s vs interpreted %.0f — compilation must buy >= 5x",
+			cr, ir))
+	}
+	if cp.AllocsPerOp != 0 {
+		out = append(out, fmt.Sprintf(
+			"GraphServeCompiled: %d allocs/op — the compiled serving path must not allocate",
+			cp.AllocsPerOp))
 	}
 	return out
 }

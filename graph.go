@@ -48,12 +48,19 @@ func Value[T any](res map[string]Result, name string) (T, error) {
 // describes — each task's name is materialized as an out() access on a
 // per-task sentinel, and each dependency as an in() on it.
 //
-// A Graph is a one-shot builder: build, Run once, discard. It is not
-// safe for concurrent mutation.
+// A Graph is a builder: it is not safe for concurrent mutation, but
+// once built it may be Run repeatedly and concurrently (Run stamps
+// per-request state from the graph's compiled template; see Compile
+// for the serving fast path that amortizes the compilation too).
 type Graph struct {
 	nodes  []*gnode
 	byName map[string]*gnode
 	err    error
+
+	// compiled caches the option-free compiled template so repeated
+	// legacy Runs reuse one template (and its frame pool); any builder
+	// mutation invalidates it.
+	compiled *CompiledGraph
 }
 
 type gnode struct {
@@ -61,10 +68,11 @@ type gnode struct {
 	deps []string
 	fn   GraphFunc
 	pri  int
+	pure bool
 
 	// val/err are written once by the node's task body (or its skip
 	// path) and read by dependents after the dependency edge's
-	// happens-before, and by Run after full completion.
+	// happens-before, and by RunInterpreted after full completion.
 	val any
 	err error
 
@@ -91,6 +99,7 @@ func (g *Graph) Add(name string, deps []string, fn GraphFunc) *Graph {
 	n := &gnode{name: name, deps: deps, fn: fn}
 	g.byName[name] = n
 	g.nodes = append(g.nodes, n)
+	g.compiled = nil
 	return g
 }
 
@@ -110,6 +119,29 @@ func (g *Graph) SetPriority(name string, pri int) *Graph {
 		return g
 	}
 	n.pri = pri
+	g.compiled = nil
+	return g
+}
+
+// MarkPure declares task name pure: its result depends only on its
+// dependencies' results, with no per-request side effects or inputs.
+// A compiled template memoizes a node's result across requests when
+// the node and every task it transitively depends on are pure (an
+// impure dependency makes the inputs per-request, so the node
+// recomputes); CompiledGraph.Invalidate drops all memoized results.
+// The interpreted path ignores purity. Referencing an unknown task is
+// a construction error reported by Run/Compile.
+func (g *Graph) MarkPure(name string) *Graph {
+	if g.err != nil {
+		return g
+	}
+	n, ok := g.byName[name]
+	if !ok {
+		g.err = fmt.Errorf("repro: MarkPure on unknown graph task %q", name)
+		return g
+	}
+	n.pure = true
+	g.compiled = nil
 	return g
 }
 
@@ -169,13 +201,45 @@ func (g *Graph) validate() ([]*gnode, error) {
 // runtime's ErrorPolicy behave exactly as in RunCtx: under FailFast
 // the first failure skips every not-yet-started task, with skipped
 // dependents reporting an error that wraps their dependency's.
+//
+// Run routes through the graph's compiled template (cached across
+// calls, rebuilt after any builder mutation): the per-call cost is one
+// pooled execution frame plus the result map the signature promises,
+// not the name resolution, cycle check and per-node closures of the
+// interpreted path. Serving loops should hold the template directly —
+// Compile once, Do per request — to also skip the map.
 func (g *Graph) Run(ctx context.Context, rt *Runtime) (map[string]Result, error) {
+	cg, err := g.Compile(rt)
+	if err != nil {
+		return nil, err
+	}
+	e, runErr := cg.Do(ctx)
+	res := make(map[string]Result, len(cg.nodes))
+	for i := range cg.nodes {
+		v, verr := e.valueAt(i)
+		res[cg.nodes[i].name] = Result{Value: v, Err: verr}
+	}
+	e.Release()
+	return res, runErr
+}
+
+// RunInterpreted is the seed interpreted execution path: it re-runs
+// name resolution and the cycle check, then registers one closure-built
+// task per node, every call. It is retained as the reference
+// implementation the compiled path is differentially tested (and
+// benchmarked) against; use Run or Compile+Do otherwise. Unlike Run it
+// must not execute the same Graph concurrently with itself — per-call
+// node state lives on the builder.
+func (g *Graph) RunInterpreted(ctx context.Context, rt *Runtime) (map[string]Result, error) {
 	order, err := g.validate()
 	if err != nil {
 		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	for _, n := range order {
+		n.val, n.err, n.fut = nil, nil, nil
 	}
 	// One sentinel byte per task carries the name-level ordering
 	// through the address-based dependency system.

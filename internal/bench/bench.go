@@ -8,12 +8,14 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/workloads"
@@ -455,6 +457,137 @@ func Echo(blocking bool) func(*testing.B) {
 	}
 }
 
+// Compiled-graph serving shape: the symphony-style fan-in DAG of the
+// acceptance scenario — three sources feeding two mid-tier joins, a
+// fan-in quote and a sink — served request-by-request. Node results
+// are small ints (< 256), which Go's runtime boxes without allocating,
+// so allocs/op isolates the serving machinery itself. graphServeWant
+// is the sink value every request must produce.
+const graphServeWant = 39
+
+func graphServeTemplate() *repro.Graph {
+	return repro.NewGraph().
+		Add("auth", nil, func(*repro.Ctx, map[string]any) (any, error) { return 7, nil }).
+		Add("user", nil, func(*repro.Ctx, map[string]any) (any, error) { return 21, nil }).
+		Add("inv", nil, func(*repro.Ctx, map[string]any) (any, error) { return 13, nil }).
+		Add("price", []string{"user", "inv"}, func(_ *repro.Ctx, d map[string]any) (any, error) {
+			return (d["user"].(int) * d["inv"].(int)) & 0xff, nil
+		}).
+		Add("promo", []string{"auth", "user"}, func(_ *repro.Ctx, d map[string]any) (any, error) {
+			return (d["auth"].(int) + d["user"].(int)) & 0xff, nil
+		}).
+		Add("quote", []string{"price", "promo"}, func(_ *repro.Ctx, d map[string]any) (any, error) {
+			return d["price"].(int) ^ d["promo"].(int), nil
+		}).
+		Add("render", []string{"quote"}, func(_ *repro.Ctx, d map[string]any) (any, error) {
+			return (d["quote"].(int) * 3) & 0xff, nil
+		})
+}
+
+// GraphServeCompiled measures the compiled serving fast path: the DAG
+// is compiled once, then each op is one CompiledGraph.Do — a pooled
+// frame stamped, seven tasks spawned over pre-resolved sentinel access
+// sets, the result read by index, the frame released. The headline
+// quantities are req/s and the 0 allocs/op steady state the perf gate
+// enforces (the allocs-from-0 rule applies).
+func GraphServeCompiled(b *testing.B) {
+	rt := newRT()
+	defer rt.Close()
+	cg, err := graphServeTemplate().Compile(rt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	render, ok := cg.NodeIndex("render")
+	if !ok {
+		b.Fatal("no render node")
+	}
+	ctx := context.Background()
+	// One warm-up request seeds the frame pool so frame construction is
+	// off the measured path (as in steady-state serving).
+	if e, err := cg.Do(ctx); err != nil {
+		b.Fatal(err)
+	} else {
+		e.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := cg.Do(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, verr := e.ValueAt(render)
+		if verr != nil {
+			b.Fatal(verr)
+		}
+		if v.(int) != graphServeWant {
+			b.Fatalf("render = %v, want %v", v, graphServeWant)
+		}
+		e.Release()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// GraphServeInterpreted is the baseline GraphServeCompiled is measured
+// against: the same DAG served through the seed interpreted path. The
+// seed Graph was a one-shot builder ("build, Run once, discard"), so
+// its serving loop pays the full per-request cost: build the graph,
+// then RunInterpreted — name resolution, cycle check, per-node
+// closures, futures and the result map — every op.
+func GraphServeInterpreted(b *testing.B) {
+	rt := newRT()
+	defer rt.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := graphServeTemplate().RunInterpreted(ctx, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, verr := repro.Value[int](res, "render")
+		if verr != nil {
+			b.Fatal(verr)
+		}
+		if v != graphServeWant {
+			b.Fatalf("render = %v, want %v", v, graphServeWant)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// echoOpenMean is the mean inter-arrival time of the open-loop echo
+// benchmark: 50µs (20k req/s offered) is comfortably inside the events
+// mode's capacity at 8 workers, so the measured p99 reflects queueing
+// under a realistic Poisson arrival process rather than saturation.
+const echoOpenMean = 50 * time.Microsecond
+
+// EchoOpenLoop is the echo workload under open-loop Poisson arrivals
+// (workloads.Arrivals): clients issue on a fixed schedule regardless
+// of completions, so the reported p99-open-ns is coordinated-omission
+// free — a stalled server accrues waiting time instead of silently
+// slowing the offered load. The metric rides the -ns convention and is
+// gated by cmd/benchjson under the -latency-threshold rules.
+func EchoOpenLoop(b *testing.B) {
+	rt := core.New(core.ConfigFor(core.VariantOptimized, echoWorkers, benchNUMA))
+	defer rt.Close()
+	e := workloads.NewEcho(echoKeys, echoClients, b.N, echoWindow, EchoBackendLatency, false)
+	e.SetArrivals(workloads.PoissonArrivals(b.N, echoOpenMean, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(rt); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := e.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(e.Latency.Quantile(0.50)), "p50-open-ns")
+	b.ReportMetric(float64(e.Latency.Quantile(0.99)), "p99-open-ns")
+}
+
 // Tier2 is the benchmark set cmd/benchjson snapshots into BENCH_*.json:
 // the perf trajectory future PRs compare against. It is the single
 // source of truth for the tier-2 names — the go test wrappers
@@ -486,6 +619,9 @@ var Tier2 = []struct {
 	{Name: "ServerQoSBlind", F: ServerQoS(false), DynamicAllocs: true},
 	{Name: "EchoEvents", F: Echo(false), DynamicAllocs: true},
 	{Name: "EchoBlocking", F: Echo(true), DynamicAllocs: true},
+	{Name: "EchoOpenLoop", F: EchoOpenLoop, DynamicAllocs: true},
+	{Name: "GraphServeCompiled", F: GraphServeCompiled},
+	{Name: "GraphServeInterpreted", F: GraphServeInterpreted},
 }
 
 // Names returns the tier-2 benchmark names in snapshot order.

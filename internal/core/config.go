@@ -105,6 +105,17 @@ type Config struct {
 	// round up to the next tick.
 	EventTick time.Duration
 
+	// ServeSlots is the number of exclusive inline-serving slots for
+	// SubmitReq: when one is free, the submitting goroutine executes
+	// the request's tasks itself (becoming a temporary worker) instead
+	// of dispatching the root through the scheduler and sleeping on the
+	// completion latch — the two cross-goroutine hand-offs that
+	// dominate small-request serving latency. Excess concurrent
+	// submitters fall back to the dispatch path, so the count bounds
+	// inline parallelism, never correctness. 0 selects 2; negative
+	// disables inline serving entirely.
+	ServeSlots int
+
 	Scheduler SchedulerKind
 	Deps      DepsKind
 	Alloc     AllocKind
@@ -153,6 +164,11 @@ func (c Config) withDefaults() Config {
 	c.RootShards = deps.NormalizeShards(c.RootShards)
 	if c.EventSlots <= 0 {
 		c.EventSlots = 4
+	}
+	if c.ServeSlots == 0 {
+		c.ServeSlots = 2
+	} else if c.ServeSlots < 0 {
+		c.ServeSlots = 0
 	}
 	return c
 }

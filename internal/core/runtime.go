@@ -128,11 +128,42 @@ type Runtime struct {
 	gate       *event.Gate
 	eventsHeld paddedCount
 
+	// Inline-serving slots (see SubmitReq): serveMu[i] guards the
+	// exclusive use of thread index serveBase+i by one inline-serving
+	// submitter at a time. Acquisition is TryLock-only — a busy pool
+	// falls back to the dispatch path — so holding a slot while
+	// executing arbitrary task bodies can never deadlock another
+	// goroutine on it.
+	serveMu   []serveSlot
+	serveBase int
+
 	// noise state for the Figure 11 experiment. serves is sharded for
 	// the same reason as live; it is only touched while the experiment
 	// is armed (noise configured and not yet fired).
 	serves    *counter.Sharded
 	noiseDone atomic.Bool
+}
+
+// serveSlot pads each inline-serving mutex onto its own cache line.
+type serveSlot struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// acquireServe claims a free inline-serving thread index, or returns -1
+// when the pool is exhausted (or disabled). Never blocks.
+func (rt *Runtime) acquireServe() int {
+	for i := range rt.serveMu {
+		if rt.serveMu[i].mu.TryLock() {
+			return rt.serveBase + i
+		}
+	}
+	return -1
+}
+
+// releaseServe returns a slot claimed by acquireServe.
+func (rt *Runtime) releaseServe(slot int) {
+	rt.serveMu[slot-rt.serveBase].mu.Unlock()
 }
 
 // paddedCount is one cache-line-isolated atomic counter (the per-level
@@ -184,19 +215,25 @@ func New(cfg Config) *Runtime {
 	// The thread-index space every per-"worker" structure is sized for:
 	// worker goroutines use [0, Workers), root submitters use
 	// [Workers, Workers+RootShards) — one slot per root shard, made
-	// exclusive by the shard's registration lock — and event completers
+	// exclusive by the shard's registration lock — event completers
 	// use [Workers+RootShards, Workers+RootShards+EventSlots), made
-	// exclusive by the completer pool's per-slot mutexes. Constructors
-	// below that take a worker count and add one slot themselves
-	// receive slots-1.
-	slots := cfg.Workers + cfg.RootShards + cfg.EventSlots
+	// exclusive by the completer pool's per-slot mutexes, and
+	// inline-serving submitters use the final ServeSlots indices, made
+	// exclusive by serveMu. Constructors below that take a worker count
+	// and add one slot themselves receive slots-1.
+	slots := cfg.Workers + cfg.RootShards + cfg.EventSlots + cfg.ServeSlots
 	rt.evSlots = event.NewSlots(cfg.Workers+cfg.RootShards, cfg.EventSlots)
 	rt.wheel = event.NewWheel(cfg.EventTick, 0)
 	rt.gate = event.NewGate(cfg.RootShards)
 	rt.live = counter.NewSharded(slots)
 	rt.serves = counter.NewSharded(slots)
 	rt.bypass = make([]bypassSlot, slots)
-	rt.wctx = make([]ctxSlot, cfg.Workers)
+	rt.serveMu = make([]serveSlot, cfg.ServeSlots)
+	rt.serveBase = cfg.Workers + cfg.RootShards + cfg.EventSlots
+	// Every slot gets a reusable execution context, not just the
+	// workers: inline-serving submitters execute task bodies on their
+	// own index.
+	rt.wctx = make([]ctxSlot, slots)
 	shareSlots := cfg.Workers
 	if shareSlots > 16 {
 		shareSlots = 16
@@ -291,7 +328,7 @@ func New(cfg Config) *Runtime {
 	}
 	switch cfg.Scheduler {
 	case SchedSyncDTLock:
-		rt.sched = sched.NewSync(policy, cfg.Workers, cfg.RootShards+cfg.EventSlots, cfg.NUMANodes, cfg.SPSCCap, hooks)
+		rt.sched = sched.NewSync(policy, cfg.Workers, slots-cfg.Workers, cfg.NUMANodes, cfg.SPSCCap, hooks)
 	case SchedCentralPTLock:
 		rt.sched = sched.NewCentral(policy, slots-1)
 	case SchedBlocking:
@@ -323,6 +360,17 @@ func New(cfg Config) *Runtime {
 
 // Config returns the runtime's effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Slots returns the size of the runtime's thread-index space: workers,
+// root-submitter shards, event-completer slots and inline-serving
+// slots. Ctx.Worker reports an index in [0, Slots()) — task bodies
+// execute on non-worker indices when an inline-serving submitter runs
+// or helps them — so per-thread structures indexed by Ctx.Worker (for
+// example histogram recorder shards) must be sized by Slots, not by
+// Config().Workers.
+func (rt *Runtime) Slots() int {
+	return rt.cfg.Workers + rt.cfg.RootShards + rt.cfg.EventSlots + rt.cfg.ServeSlots
+}
 
 // Tracer returns the instrumentation backend, or nil when tracing is
 // disabled.
@@ -621,6 +669,9 @@ func (rt *Runtime) execute(t *Task, id int) *Task {
 		if t.handle != nil && t.handle.err == nil {
 			t.handle.err = &skipError{cause: cause}
 		}
+		if t.req != nil && t.req.err == nil {
+			t.req.err = &skipError{cause: cause}
+		}
 	} else {
 		rt.tracer.Emit(id, trace.KTaskStart, 0)
 		rt.runBody(t, id)
@@ -719,6 +770,27 @@ func (rt *Runtime) completeOne(t *Task, id int) {
 	for t != nil && t != &rt.global && t.alive.Add(-1) == 0 {
 		parent := t.parent
 		rt.live.Add(id, -1)
+		req := t.req
+		if r := req; r != nil {
+			// Claim the fold: wait out a waiter-side deadline cancel
+			// (tryCancel holds reqCancelling only around the scope
+			// cancel), after which the waiter can no longer touch the
+			// scope and the aggregate is final.
+			for i := 0; !r.state.CompareAndSwap(reqIdle, reqDone); i++ {
+				spinOrYield(i)
+			}
+			if agg := t.sc.err(); agg != nil {
+				if sk, ok := r.err.(*skipError); ok {
+					// The root itself was drained: keep the
+					// ErrTaskSkipped marker, carry the aggregate (which
+					// wraps the cancellation cause) as its cause.
+					sk.cause = agg
+				} else {
+					r.err = agg
+				}
+			}
+			r.sc = nil
+		}
 		if t.handle != nil {
 			if t.ownsScope {
 				if agg := t.sc.err(); agg != nil {
@@ -755,6 +827,12 @@ func (rt *Runtime) completeOne(t *Task, id int) {
 		if t.node.Unpin() == 0 {
 			t.node.Reset()
 			rt.alloc.Put(id, t)
+		}
+		if req != nil {
+			// Signal last, strictly after the scope release and shell
+			// recycle above: when Wait returns, the waiter may reuse the
+			// Req (and its frame) for the next request immediately.
+			req.done <- struct{}{}
 		}
 		t = parent
 	}

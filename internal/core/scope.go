@@ -82,9 +82,13 @@ type scope struct {
 	// aborted flips once; cause holds the first cancellation cause.
 	// ctxAborted additionally marks that the abort came from the
 	// caller's context (observed during execution), as opposed to a
-	// FailFast task error already recorded in errs.
+	// FailFast task error already recorded in errs. extAborted marks an
+	// out-of-band cancellation (cancelExternal — a Req deadline from the
+	// timer wheel): like a context cancellation, its cause joins the
+	// aggregate error only once a task actually observes the abort.
 	aborted    atomic.Bool
 	ctxAborted atomic.Bool
+	extAborted atomic.Bool
 	cause      atomic.Pointer[error]
 
 	mu   sync.Mutex
@@ -123,6 +127,7 @@ func (sc *scope) release() {
 	sc.policy = FailFast
 	sc.aborted.Store(false)
 	sc.ctxAborted.Store(false)
+	sc.extAborted.Store(false)
 	sc.cause.Store(nil)
 	sc.mu.Lock()
 	clear(sc.errs) // drop the error references, keep the capacity
@@ -154,6 +159,18 @@ func (sc *scope) cancel(cause error) {
 	sc.aborted.Store(true)
 }
 
+// cancelExternal aborts the scope like a caller-context cancellation
+// that arrives out of band — a Req deadline fired by the timer wheel
+// rather than a context. The cause joins the aggregate error only if a
+// task observes the abort while the scope is still executing (the
+// extAborted check in abortCause), exactly as with context
+// cancellation: a deadline that fires after every task already
+// completed does not fail a successful run.
+func (sc *scope) cancelExternal(cause error) {
+	sc.extAborted.Store(true)
+	sc.cancel(cause)
+}
+
 // abortCause returns the cancellation cause, or nil while the scope is
 // live. It is the per-task hot-path check — one atomic load, plus a
 // poll of the caller context's Done channel for cancellable
@@ -164,6 +181,12 @@ func (sc *scope) abortCause() error {
 		return nil
 	}
 	if sc.aborted.Load() {
+		if sc.extAborted.Load() {
+			// An out-of-band cancel was observed during execution:
+			// promote its cause into the aggregate, like the context
+			// branch below does.
+			sc.ctxAborted.Store(true)
+		}
 		return *sc.cause.Load()
 	}
 	if sc.done != nil {

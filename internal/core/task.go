@@ -29,6 +29,12 @@ type Task struct {
 	// the task's result/error and is closed at full completion.
 	handle *Handle
 
+	// req, when non-nil (SubmitReq roots), is the caller-pooled
+	// completion latch that replaces the handle on the serving fast
+	// path: completeOne folds the scope's aggregate error into it and
+	// signals it after releasing the scope.
+	req *Req
+
 	// ownsScope marks the root task of a scope: its full completion
 	// releases the scope's context registration and folds the scope's
 	// aggregate error into the handle.
@@ -75,6 +81,7 @@ func (t *Task) resetBody() {
 	t.rt = nil
 	t.sc = nil
 	t.handle = nil
+	t.req = nil
 	t.ownsScope = false
 	t.events = nil
 	t.alive.Store(0)
@@ -146,6 +153,19 @@ func (c *Ctx) GoFn(fn func(*Ctx) (any, error), accs ...deps.AccessSpec) *Handle 
 	t.handle = h
 	c.rt.register(c.task, t, c.worker)
 	return h
+}
+
+// Fail records err as the running task's failure, exactly as if a GoFn
+// body had returned it: the error lands in the task's scope — where
+// the ErrorPolicy decides whether the rest of the scope keeps running —
+// and on the task's handle, if it has one. It is the error channel for
+// Spawn bodies, which have no return value; the compiled-graph node
+// bodies use it to route node failures into the request's scope
+// without a per-node handle allocation. A nil err is a no-op.
+func (c *Ctx) Fail(err error) {
+	if err != nil {
+		c.task.fail(err)
+	}
 }
 
 // Err returns the cancellation cause of the task's scope, or nil while

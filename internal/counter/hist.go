@@ -142,6 +142,28 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return bucketMax(HistBuckets - 1)
 }
 
+// Mean returns the mean of all recorded samples, each represented by
+// its bucket's upper bound — the same conservative bias direction as
+// Quantile, so a reported mean overstates the true one by at most
+// 12.5%. It returns 0 when no samples have been recorded; like Count
+// it is a cold-path merge, exact at quiescence.
+func (h *Histogram) Mean() float64 {
+	var sum float64
+	var total int64
+	for s := range h.shards {
+		for b := range h.shards[s].buckets {
+			if c := h.shards[s].buckets[b].Load(); c != 0 {
+				sum += float64(c) * float64(bucketMax(b))
+				total += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
 // Reset zeroes every bucket. It must not run concurrently with Record.
 func (h *Histogram) Reset() {
 	for s := range h.shards {

@@ -140,6 +140,21 @@ func (d *RootDomain) Acquire(accs []AccessSpec) RootLease {
 	return RootLease{d: d, mask: mask, slot: bits.TrailingZeros64(mask)}
 }
 
+// AcquireFor is Acquire for a submission with no data accesses whose
+// caller holds a stable spreading key — typically the address of a
+// pooled per-request structure (the compiled-graph serving path). The
+// key hashes straight to one shard with the same Fibonacci hash the
+// address path uses, so high-rate access-less submitters spread across
+// shards without sharing the round-robin counter's cache line, and
+// repeat submissions keyed by the same frame stay on one shard, whose
+// thread-local structures (allocator free list, dependency mailbox)
+// they keep warm.
+func (d *RootDomain) AcquireFor(key uintptr) RootLease {
+	i := int((uint64(key) * 0x9E3779B97F4A7C15) >> d.shift)
+	d.shards[i].mu.Lock()
+	return RootLease{d: d, mask: 1 << uint(i), slot: i}
+}
+
 // Slot returns the lease's submitter-slot index: the lowest held shard.
 // The runtime offsets it by the worker count to obtain the thread-local
 // worker index the lease holder may use.

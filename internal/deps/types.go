@@ -210,6 +210,14 @@ func (n *Node) Pin() { n.pins.Add(1) }
 // means the storage is quiescent and the shell may be recycled.
 func (n *Node) Unpin() int32 { return n.pins.Add(-1) }
 
+// domainRetainCap bounds the domain-map capacity a pooled shell keeps:
+// maps up to this size are cleared and reused (clear preserves the
+// buckets, so a recycled shell re-registering a similar working set of
+// addresses allocates nothing — the steady-state serving path depends
+// on this), larger ones are dropped to the garbage collector so a
+// one-off wide fan-out does not stay resident in the pool forever.
+const domainRetainCap = 64
+
 // Reset prepares a recycled Node for reuse by a new task. It must only
 // be called once the node is quiescent (pin count zero): that is what
 // makes clearing the inline accesses safe. Clearing drops their
@@ -217,7 +225,8 @@ func (n *Node) Unpin() int32 { return n.pins.Add(-1) }
 // dependency structures reachable (groups with per-worker slot
 // buffers, locking-baseline chains); the next task's Init rewrites
 // every field anyway. An overflow slice (when Accesses pointed to heap
-// storage) is dropped to the garbage collector wholesale.
+// storage) is dropped to the garbage collector wholesale, and domain
+// maps are retained empty up to domainRetainCap.
 func (n *Node) Reset() {
 	if len(n.Accesses) > 0 && &n.Accesses[0] == &n.inline[0] {
 		for i := range n.Accesses {
@@ -227,8 +236,16 @@ func (n *Node) Reset() {
 	n.Payload = nil
 	n.Accesses = nil
 	n.pending.Store(0)
-	n.domain = nil
-	n.ldomain = nil
+	if len(n.domain) <= domainRetainCap {
+		clear(n.domain)
+	} else {
+		n.domain = nil
+	}
+	if len(n.ldomain) <= domainRetainCap {
+		clear(n.ldomain)
+	} else {
+		n.ldomain = nil
+	}
 }
 
 // satisfied consumes one pending dependency and fires ready on the last.

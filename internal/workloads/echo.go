@@ -183,7 +183,9 @@ func (e *Echo) submitRequest(rt *core.Runtime, r int, t0 time.Time) echoInflight
 // or on the open-loop arrival schedule, and every handle is awaited
 // before returning.
 func (e *Echo) Run(rt *core.Runtime) error {
-	if w := rt.Config().Workers; e.Latency.Recorders() != w {
+	// Sized by the full thread-index space: a reply body can execute on
+	// a non-worker slot when an inline-serving submitter helps it.
+	if w := rt.Slots(); e.Latency.Recorders() != w {
 		e.Latency = counter.NewHistogram(w)
 	}
 	e.lastWorkers = rt.Config().Workers

@@ -389,7 +389,7 @@ func (s *QoSServer) Run(rt *core.Runtime) error {
 	// the existing histograms (already zeroed by Reset) when the shard
 	// count matches, so a caller's pre-Run reference stays live across
 	// repeated runs on the same runtime.
-	if w := rt.Config().Workers; s.Interactive.Recorders() != w {
+	if w := rt.Slots(); s.Interactive.Recorders() != w {
 		s.Interactive = counter.NewHistogram(w)
 		s.Batch = counter.NewHistogram(w)
 	}

@@ -87,6 +87,17 @@ func WithEventSlots(n int) Option {
 	return func(c *core.Config) { c.EventSlots = n }
 }
 
+// WithServeSlots sets the number of exclusive inline-serving slots for
+// the compiled-graph fast path (CompiledGraph.Do): when a slot is
+// free, the submitting goroutine executes the request's tasks itself
+// instead of dispatching through the scheduler and sleeping on the
+// completion latch. The count bounds inline parallelism, never
+// correctness (excess submitters fall back to the dispatch path); 0
+// selects the default of 2, negative disables inline serving.
+func WithServeSlots(n int) Option {
+	return func(c *core.Config) { c.ServeSlots = n }
+}
+
 // WithEventTick sets the resolution of the shared timer wheel behind
 // Ctx.After and Ctx.AfterFunc; 0 selects the default of 100µs. Timers
 // round up — a completion never fires earlier than its delay.
@@ -110,6 +121,42 @@ func WithTracing(capacity int) Option {
 func WithNoise(afterServes int, d time.Duration) Option {
 	return func(c *core.Config) {
 		c.Noise = core.NoiseConfig{AfterServes: afterServes, Duration: d}
+	}
+}
+
+// CompileOption configures a Graph.Compile call. Compiling with any
+// option always builds a fresh template (option-free compiles are
+// cached on the Graph).
+type CompileOption func(*CompiledGraph)
+
+// NodeStat is one node execution's latency sample, delivered to the
+// WithNodeStats hook synchronously on the executing worker.
+type NodeStat struct {
+	// Name and Index identify the node (Index is its topological
+	// position, as returned by CompiledGraph.NodeIndex).
+	Name  string
+	Index int
+	// Worker is the worker that executed the node's body.
+	Worker int
+	// Elapsed is the body's run time; 0 for memoized hits.
+	Elapsed time.Duration
+	// Err is the body's raw error (pre-wrapping), nil on success.
+	Err error
+	// Memoized marks a pure-node cache hit: the body did not run.
+	Memoized bool
+}
+
+// WithNodeStats enables per-node latency recording on the compiled
+// template: every node execution is timed and recorded into a per-node
+// zero-allocation histogram (CompiledGraph.NodeLatency), and hook — if
+// non-nil — additionally receives each sample synchronously on the
+// executing worker, so it must be cheap and safe for concurrent calls.
+// A nil hook records histograms only. The timing itself is off unless
+// this option is given, keeping the default hot path clock-free.
+func WithNodeStats(hook func(NodeStat)) CompileOption {
+	return func(cg *CompiledGraph) {
+		cg.statsOn = true
+		cg.stats = hook
 	}
 }
 

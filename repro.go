@@ -111,6 +111,37 @@
 //		})
 //	res, err := g.Run(ctx, rt)
 //	// res["b"].Value == 42.0
+//
+// # Serving: compiled graph templates
+//
+// A serving loop runs the same DAG for every request; re-validating it
+// per request is pure overhead. Compile freezes the graph once into an
+// immutable template and Do stamps out one execution per request from
+// pooled frames — a steady-state request allocates nothing, and one
+// template serves any number of concurrent Do callers:
+//
+//	cg, err := g.Compile(rt)         // validate + freeze once
+//	bi, _ := cg.NodeIndex("b")       // resolve names off the hot path
+//	for {                            // per request, typically per client goroutine
+//		e, err := cg.DoTimeout(ctx, 5*time.Millisecond)
+//		if err == nil {
+//			v, _ := e.ValueAt(bi)    // string-free result access
+//			serve(v)
+//		}
+//		e.Release()                  // frame back to the pool
+//	}
+//
+// DoTimeout cancels the request on the runtime's timer wheel —
+// not-yet-started nodes drain with ErrTaskSkipped wrapping
+// context.DeadlineExceeded — and still waits for the full drain, so
+// the frame is always quiescent when it returns. MarkPure memoizes a
+// node whose result depends only on its (pure) dependencies, with
+// CompiledGraph.Invalidate dropping all memoized results; compiling
+// with WithNodeStats hangs a zero-allocation latency histogram off
+// every node (CompiledGraph.NodeLatency). See DESIGN.md ("Compiled
+// graph templates") for the join-counter execution scheme and the
+// inline-serving slots that let the submitting goroutine run its own
+// request.
 package repro
 
 import (

@@ -190,6 +190,7 @@ func main() {
 		regressions, warnings := compareSnapshots(old, snap, *threshold, *latThreshold, *floorNs)
 		regressions = append(regressions, echoCapacityCheck(snap)...)
 		regressions = append(regressions, graphServeCheck(snap)...)
+		regressions = append(regressions, idleBurnCheck(snap)...)
 		for _, w := range warnings {
 			fmt.Println("warning: " + w)
 			if os.Getenv("GITHUB_ACTIONS") == "true" {
@@ -263,6 +264,38 @@ func graphServeCheck(cur snapshot) []string {
 		out = append(out, fmt.Sprintf(
 			"GraphServeCompiled: %d allocs/op — the compiled serving path must not allocate",
 			cp.AllocsPerOp))
+	}
+	return out
+}
+
+// idleBurnCheck enforces the elastic worker pool's idle-cost invariant
+// on the current run: an idle pool must actually park its workers, and
+// once parked must burn at most 10% of the CPU the pure-spin baseline
+// (IdleSpin=-1) burns over the same idle window. Like the other
+// same-run checks this is a same-host ratio and holds on every host
+// shape. The CPU half stands down when the host cannot report process
+// CPU time (the benchmark then omits the idle-mcores metrics) or when
+// the spin baseline itself measured below a noise floor — a pool of
+// spinning workers that registers under a tenth of a core means the
+// runner is too oversubscribed for the ratio to mean anything.
+func idleBurnCheck(cur snapshot) []string {
+	ib, ok := cur.Benchmarks["IdleBurn"]
+	if !ok {
+		return nil
+	}
+	var out []string
+	if ib.Extra["parked-workers"] < 1 {
+		out = append(out, "IdleBurn: no worker ever parked — the elastic spin→park ladder is dead")
+	}
+	spin, okSpin := ib.Extra["idle-mcores-spin"]
+	elastic, okElastic := ib.Extra["idle-mcores-elastic"]
+	if !okSpin || !okElastic || spin < 100 {
+		return out
+	}
+	if elastic > 0.10*spin {
+		out = append(out, fmt.Sprintf(
+			"IdleBurn: parked pool burns %.0f of the spin baseline's %.0f idle millicores (%.0f%%) — must stay <= 10%%",
+			elastic, spin, 100*elastic/spin))
 	}
 	return out
 }

@@ -18,6 +18,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/deps"
+	"repro/internal/platform"
 	"repro/internal/workloads"
 )
 
@@ -558,6 +559,76 @@ func GraphServeInterpreted(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// IdleBurn shape: the settle gives the elastic pool time to descend
+// the spin→park ladder before a window opens; the window is long
+// relative to timer/GC noise so the millicore readings are stable.
+const (
+	idleBurnSettle = 30 * time.Millisecond
+	idleBurnWindow = 120 * time.Millisecond
+)
+
+// idleWindow sleeps one idle window and returns the process CPU burned
+// across it, as millicores (CPU-time/wall-time × 1000; 1000 = one core
+// fully busy). ok is false when the host cannot report process CPU
+// time, in which case the IdleBurn CPU gate stands down.
+func idleWindow() (mcores float64, ok bool) {
+	start, ok1 := platform.ProcessCPUTime()
+	time.Sleep(idleBurnWindow)
+	end, ok2 := platform.ProcessCPUTime()
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return float64(end-start) / float64(idleBurnWindow) * 1000, true
+}
+
+// IdleBurn measures what the worker pool costs while there is nothing
+// to do — the quantity the elastic park/wake ladder exists to shrink.
+// Wall clock cannot see it (a parked and a spinning pool idle for the
+// same duration), so each op is one idle window over which the
+// process's CPU time is differenced. The spin baseline (IdleSpin=-1,
+// the pre-elastic behaviour) is measured once before the timer on an
+// identically shaped pool; cmd/benchjson's idleBurnCheck enforces that
+// the parked pool burns at most 10% of it. parked-workers records how
+// many workers actually reached the parked state.
+func IdleBurn(b *testing.B) {
+	spinCfg := core.ConfigFor(core.VariantOptimized, benchWorkers, benchNUMA)
+	spinCfg.IdleSpin = -1
+	rtSpin := core.New(spinCfg)
+	if err := rtSpin.Run(func(*core.Ctx) {}); err != nil {
+		rtSpin.Close()
+		b.Fatal(err)
+	}
+	time.Sleep(idleBurnSettle)
+	spin, spinOK := idleWindow()
+	rtSpin.Close()
+
+	rt := newRT()
+	defer rt.Close()
+	if err := rt.Run(func(*core.Ctx) {}); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(idleBurnSettle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var elastic float64
+	elasticOK := true
+	parked := 0
+	for i := 0; i < b.N; i++ {
+		m, ok := idleWindow()
+		elastic += m
+		elasticOK = elasticOK && ok
+		if p := rt.Stats().Parked; p > parked {
+			parked = p
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(parked), "parked-workers")
+	if spinOK && elasticOK {
+		b.ReportMetric(elastic/float64(b.N), "idle-mcores-elastic")
+		b.ReportMetric(spin, "idle-mcores-spin")
+	}
+}
+
 // echoOpenMean is the mean inter-arrival time of the open-loop echo
 // benchmark: 50µs (20k req/s offered) is comfortably inside the events
 // mode's capacity at 8 workers, so the measured p99 reflects queueing
@@ -622,6 +693,7 @@ var Tier2 = []struct {
 	{Name: "EchoOpenLoop", F: EchoOpenLoop, DynamicAllocs: true},
 	{Name: "GraphServeCompiled", F: GraphServeCompiled},
 	{Name: "GraphServeInterpreted", F: GraphServeInterpreted},
+	{Name: "IdleBurn", F: IdleBurn, DynamicAllocs: true},
 }
 
 // Names returns the tier-2 benchmark names in snapshot order.

@@ -116,6 +116,23 @@ type Config struct {
 	// disables inline serving entirely.
 	ServeSlots int
 
+	// MinWorkers is the number of workers the elastic pool keeps out of
+	// the parking ladder: workers with index below it idle by
+	// spin-yielding forever (the pre-elastic behaviour), trading idle CPU
+	// for immunity to wake-up latency. The remaining workers park after
+	// their idle spin budget runs out and are woken on demand. 0 (the
+	// default) lets every worker park; values above Workers clamp.
+	MinWorkers int
+
+	// IdleSpin is the per-worker idle spin budget: how many consecutive
+	// empty scheduler polls a worker tolerates before parking on its
+	// wake channel. 0 selects the default (1024); negative disables
+	// parking entirely — every worker spins, the pure-spin baseline the
+	// IdleBurn benchmark compares against. The blocking scheduler
+	// ignores both knobs: its workers already sleep in the scheduler's
+	// own condvar.
+	IdleSpin int
+
 	Scheduler SchedulerKind
 	Deps      DepsKind
 	Alloc     AllocKind
@@ -169,6 +186,15 @@ func (c Config) withDefaults() Config {
 		c.ServeSlots = 2
 	} else if c.ServeSlots < 0 {
 		c.ServeSlots = 0
+	}
+	if c.IdleSpin == 0 {
+		c.IdleSpin = 1024
+	}
+	if c.MinWorkers < 0 {
+		c.MinWorkers = 0
+	}
+	if c.MinWorkers > c.Workers {
+		c.MinWorkers = c.Workers
 	}
 	return c
 }

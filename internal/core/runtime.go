@@ -83,6 +83,19 @@ type Runtime struct {
 	stopping atomic.Bool
 	wg       sync.WaitGroup
 
+	// Elastic worker pool state. parker holds the per-worker parking
+	// channels and state words; pending counts scheduler-queued tasks
+	// (raised in schedAdd, lowered in schedTook) and is the pre-park
+	// recheck's primary signal; parkRecheck is the recheck closure,
+	// built once at New so the park path never allocates; elastic gates
+	// the whole mechanism — false for the blocking scheduler (its
+	// workers sleep in the scheduler's own condvar) and for IdleSpin<0
+	// (the pure-spin baseline).
+	parker      *sched.Parker
+	pending     paddedCount
+	parkRecheck func() bool
+	elastic     bool
+
 	// bypass and wctx are per-worker hot-path state (successor bypass
 	// slots and reusable execution contexts), indexed by worker; bypass
 	// has extra slots for the submitter and event-completer indices so
@@ -174,24 +187,43 @@ type paddedCount struct {
 }
 
 // schedAdd routes a task to the scheduler, maintaining the per-level
-// pending counts for elevated tasks. Every insertion into rt.sched must
-// go through it (ready callback, commutative re-enqueue) so the counts
-// match what Get can return.
+// pending counts for elevated tasks and the elastic pool's pending
+// count. Every insertion into rt.sched must go through it (ready
+// callback, commutative re-enqueue) so the counts match what Get can
+// return. The order against wakeWorker is the lost-wakeup argument's
+// producer half: pending is raised (sequentially consistent) before
+// the parked count is read, so a worker concurrently publishing itself
+// as parked either sees pending > 0 in its recheck or is seen here.
 func (rt *Runtime) schedAdd(t *Task, worker int) {
 	if t.pri > 0 {
 		rt.priPending[t.pri].v.Add(1)
 	}
+	rt.pending.v.Add(1)
 	rt.sched.Add(t, worker)
+	rt.wakeWorker()
 }
 
 // schedTook books a task obtained from rt.sched.Get/TryGet out of the
 // pending counts. Wrapping the return value keeps the counters exact:
 // a task is pending iff it has been Added and not yet returned.
 func (rt *Runtime) schedTook(t *Task) *Task {
-	if t != nil && t.pri > 0 {
-		rt.priPending[t.pri].v.Add(-1)
+	if t != nil {
+		if t.pri > 0 {
+			rt.priPending[t.pri].v.Add(-1)
+		}
+		rt.pending.v.Add(-1)
 	}
 	return t
+}
+
+// wakeWorker wakes at most one parked worker; producers call it after
+// making work visible (scheduler insertion, work-share Offer). With no
+// worker parked — or elastic parking disabled — it is a single atomic
+// load.
+func (rt *Runtime) wakeWorker() {
+	if rt.elastic {
+		rt.parker.WakeOne()
+	}
 }
 
 // higherPriPending reports whether any task with a priority level above
@@ -240,6 +272,19 @@ func New(cfg Config) *Runtime {
 	}
 	rt.share = sched.NewWorkShare[Task](shareSlots)
 	rt.shareEnabled = cfg.Scheduler != SchedBlocking
+	// Elastic parking is off for the blocking scheduler (its workers
+	// already sleep inside Get) and for the pure-spin baseline. The
+	// recheck closure is built once here: Park calls it after the worker
+	// is visible as parked, and it must observe every signal a producer
+	// publishes before waking — the scheduler pending count, the
+	// work-share lane, and the stop flag (Close never strands a worker
+	// that parked between the flag store and WakeAll).
+	rt.elastic = cfg.Scheduler != SchedBlocking && cfg.IdleSpin >= 0
+	rt.parker = sched.NewParker(cfg.Workers)
+	rt.parkRecheck = func() bool {
+		return rt.pending.v.Load() > 0 || rt.stopping.Load() ||
+			(rt.loopsActive.Load() > 0 && rt.share.Any())
+	}
 	for i := range rt.wctx {
 		rt.wctx[i].ctx = Ctx{rt: rt, worker: i}
 	}
@@ -273,6 +318,10 @@ func New(cfg Config) *Runtime {
 		// through to the ordinary scheduler (the lane is a fast path,
 		// never required).
 		if l := t.loop; l != nil && l.owner != t && rt.shareEnabled && rt.share.Offer(t) {
+			// The Offer's CAS made the descriptor visible; wake a parked
+			// worker to claim it (the lane sits outside the scheduler's
+			// pending count, but Park's recheck sweeps it via share.Any).
+			rt.wakeWorker()
 			return
 		}
 		rt.schedAdd(t, worker)
@@ -538,15 +587,22 @@ func (rt *Runtime) spawn(parent *Task, body func(*Ctx), accs []deps.AccessSpec, 
 	rt.register(parent, t, worker)
 }
 
-// workerLoop is the per-core scheduling loop: ask the scheduler for work,
-// run it, and spin-yield while idle. The loop exits once the runtime is
-// stopping and no live tasks remain.
+// workerLoop is the per-core scheduling loop: ask the scheduler for
+// work, run it, and while idle climb the spin→park ladder — a bounded
+// spin-yield phase (Config.IdleSpin empty polls) followed by parking on
+// the worker's wake channel until a producer's enqueue claims it. The
+// first Config.MinWorkers workers never park; neither does anyone once
+// the runtime is stopping (the stop condition below must stay polled).
+// The loop exits once the runtime is stopping and no live tasks remain;
+// each exiting worker wakes all parked peers so the exit cascades.
 func (rt *Runtime) workerLoop(id int) {
 	defer rt.wg.Done()
 	if rt.cfg.PinWorkers {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
+	canPark := rt.elastic && id >= rt.cfg.MinWorkers
+	spinning := false
 	for i := 0; ; i++ {
 		// Taskloop steal descriptors come first, so a loop recruits this
 		// worker before it commits to single-task work; the loopsActive
@@ -560,6 +616,10 @@ func (rt *Runtime) workerLoop(id int) {
 				if rt.higherPriPending(t.pri) {
 					rt.schedAdd(t, id)
 				} else {
+					if spinning {
+						rt.parker.MarkRunning(id)
+						spinning = false
+					}
 					for t != nil {
 						t = rt.execute(t, id)
 					}
@@ -571,6 +631,10 @@ func (rt *Runtime) workerLoop(id int) {
 		t0 := rt.tracer.Now()
 		t := rt.schedTook(rt.sched.Get(id))
 		if t != nil {
+			if spinning {
+				rt.parker.MarkRunning(id)
+				spinning = false
+			}
 			rt.tracer.EmitTS(id, trace.KSchedEnter, 0, t0)
 			rt.tracer.Emit(id, trace.KSchedLeave, 0)
 			// Run the task and then any chain of bypassed successors it
@@ -582,7 +646,26 @@ func (rt *Runtime) workerLoop(id int) {
 			continue
 		}
 		if rt.stopping.Load() && rt.live.Sum() == 0 {
+			// Parked peers cannot poll this condition; each exiting
+			// worker releases them all so the shutdown cascades.
+			rt.parker.WakeAll()
 			return
+		}
+		if rt.elastic && !spinning {
+			rt.parker.MarkSpinning(id)
+			spinning = true
+		}
+		if canPark && i >= rt.cfg.IdleSpin && !rt.stopping.Load() {
+			// Spin budget exhausted: park until a producer's enqueue
+			// claims this worker. Park publishes the parked state before
+			// running the recheck, so an enqueue that lands between the
+			// last empty poll above and the sleep is never lost — either
+			// the recheck sees its pending count, or the producer's
+			// WakeOne sees this worker parked.
+			rt.parker.Park(id, rt.parkRecheck)
+			spinning = false
+			i = -1 // restart the ladder: poll eagerly after a wake
+			continue
 		}
 		spinOrYield(i)
 	}
@@ -878,6 +961,10 @@ func (rt *Runtime) maybeInjectNoise(owner int) {
 func (rt *Runtime) Close() {
 	rt.stopping.Store(true)
 	rt.sched.Stop()
+	// Release parked workers after the stop flag is visible: a worker
+	// that parked concurrently either saw the flag in its pre-sleep
+	// recheck (it never parks while stopping) or is seen parked here.
+	rt.parker.WakeAll()
 	rt.wg.Wait()
 	rt.wheel.Stop()
 }
@@ -887,6 +974,43 @@ func (rt *Runtime) Close() {
 // the value is exact once submitters and workers are quiescent, which
 // is when the tests that assert on it read it.
 func (rt *Runtime) LiveTasks() int64 { return rt.live.Sum() }
+
+// Stats is a snapshot of the elastic worker pool (Runtime.Stats): the
+// current worker states and the cumulative park/wake counters. The
+// instantaneous fields (Parked, Spinning, Pending) are racy snapshots,
+// exact only at quiescence; the cumulative counters are monotone.
+type Stats struct {
+	// Workers is the pool size (Config.Workers).
+	Workers int
+	// Parked is the number of workers currently asleep on their wake
+	// channel.
+	Parked int
+	// Spinning is the number of workers currently in the bounded idle
+	// spin phase of the park ladder.
+	Spinning int
+	// Parks counts blocking parks over the runtime's lifetime
+	// (cancelled parks — recheck found work — are not counted).
+	Parks uint64
+	// Wakes counts wake tokens delivered to parked workers.
+	Wakes uint64
+	// Pending is the number of tasks currently queued in the scheduler
+	// (added and not yet taken).
+	Pending int64
+}
+
+// Stats returns an elastic-pool snapshot. With parking disabled
+// (blocking scheduler, or IdleSpin < 0) the park/wake fields stay zero
+// and Pending still tracks the scheduler queue.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Workers:  rt.cfg.Workers,
+		Parked:   rt.parker.Parked(),
+		Spinning: rt.parker.Spinning(),
+		Parks:    rt.parker.Parks(),
+		Wakes:    rt.parker.Wakes(),
+		Pending:  rt.pending.v.Load(),
+	}
+}
 
 // spinOrYield performs bounded busy-waiting before yielding to the Go
 // scheduler, keeping oversubscribed worker counts live on small hosts.

@@ -1,6 +1,7 @@
 package counter
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -68,7 +69,12 @@ func histIndex(v int64) int {
 }
 
 // bucketMax returns the largest value mapping to bucket idx — the
-// conservative (upper-bound) representative Quantile reports.
+// conservative (upper-bound) representative Quantile reports. The top
+// octave clamps to math.MaxInt64: the bucket array is sized to a whole
+// number of cache lines, so its last block's nominal range starts at
+// 2^63 and the unclamped 1<<exp wrapped into the sign bit, making any
+// walk that reaches those buckets (Quantile's final fallback, a merged
+// Mean) report negative latencies.
 func bucketMax(idx int) int64 {
 	if idx < histSubBuckets {
 		return int64(idx)
@@ -76,6 +82,9 @@ func bucketMax(idx int) int64 {
 	block := idx >> histSubBits
 	sub := idx & (histSubBuckets - 1)
 	exp := uint(block + histSubBits - 1)
+	if exp >= 63 {
+		return math.MaxInt64
+	}
 	width := int64(1) << (exp - histSubBits)
 	return int64(1)<<exp + int64(sub+1)*width - 1
 }

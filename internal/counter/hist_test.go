@@ -1,6 +1,7 @@
 package counter
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -44,6 +45,60 @@ func TestHistogramIndexMonotoneAndBounded(t *testing.T) {
 		if v >= histSubBuckets && float64(up-v) > 0.125*float64(v) {
 			t.Fatalf("bucketMax(%d) = %d overstates %d by more than 12.5%%", idx, up, v)
 		}
+	}
+}
+
+// TestHistogramBucketRoundTrip pins the top-octave overflow fix by
+// walking the full exponent range, every bucket the array holds:
+// bucketMax must never wrap into the sign bit (the old 1<<exp at
+// exp=63 went negative), must be monotone non-decreasing, and must
+// round-trip through histIndex for every bucket a non-negative int64
+// can actually reach. The buckets above histIndex(MaxInt64) — the
+// spare top octave that pads the array to whole cache lines — all
+// clamp to MaxInt64.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	maxIdx := histIndex(math.MaxInt64)
+	if maxIdx < 0 || maxIdx >= HistBuckets {
+		t.Fatalf("histIndex(MaxInt64) = %d out of range", maxIdx)
+	}
+	prev := int64(-1)
+	for idx := 0; idx < HistBuckets; idx++ {
+		up := bucketMax(idx)
+		if up < 0 {
+			t.Fatalf("bucketMax(%d) = %d: sign-bit overflow", idx, up)
+		}
+		if up < prev {
+			t.Fatalf("bucketMax not monotone at %d: %d < %d", idx, up, prev)
+		}
+		prev = up
+		if idx <= maxIdx {
+			if got := histIndex(up); got != idx {
+				t.Fatalf("round-trip broken: histIndex(bucketMax(%d)=%d) = %d", idx, up, got)
+			}
+			if idx < maxIdx {
+				// The bucket boundary is tight: the next representable
+				// value belongs to the next bucket.
+				if got := histIndex(up + 1); got != idx+1 {
+					t.Fatalf("boundary loose at %d: histIndex(%d) = %d, want %d", idx, up+1, got, idx+1)
+				}
+			}
+		} else if up != math.MaxInt64 {
+			t.Fatalf("spare top bucket %d = %d, want MaxInt64 clamp", idx, up)
+		}
+	}
+}
+
+// TestHistogramExtremeSampleStaysPositive: one astronomically large
+// sample must never drive the merged views negative.
+func TestHistogramExtremeSampleStaysPositive(t *testing.T) {
+	h := NewHistogram(1)
+	h.Record(0, math.MaxInt64)
+	h.Record(0, 1)
+	if q := h.Quantile(1); q < 0 {
+		t.Fatalf("Quantile(1) = %d, negative", q)
+	}
+	if m := h.Mean(); m < 0 {
+		t.Fatalf("Mean() = %v, negative", m)
 	}
 }
 

@@ -104,12 +104,44 @@ func (w *Wheel) After(d time.Duration, fn func()) {
 		w.wg.Add(1)
 		go w.run()
 	}
+	w.schedule(ticks, fn)
+	w.mu.Unlock()
+}
+
+// schedule places fn ticks cursor-advances from now (ticks >= 1). The
+// caller holds w.mu.
+func (w *Wheel) schedule(ticks int, fn func()) {
 	slot := (w.cur + ticks) & (len(w.buckets) - 1)
+	// rounds counts how many times the cursor must *pass over* the slot
+	// before the entry is due, i.e. completed extra revolutions beyond
+	// the first arrival. A delay that is an exact revolution multiple
+	// (ticks == k·buckets) wraps to the cursor's own slot, which the
+	// cursor reaches after exactly `buckets` advances — so the boundary
+	// belongs to the lower revolution: (ticks-1)/buckets, not
+	// ticks/buckets, which fired those timers one full revolution late.
 	w.buckets[slot] = append(w.buckets[slot], timer{
-		rounds: int32(ticks / len(w.buckets)),
+		rounds: int32((ticks - 1) / len(w.buckets)),
 		fn:     fn,
 	})
-	w.mu.Unlock()
+}
+
+// advance moves the cursor one tick and appends the now-due timers of
+// the new current bucket to due, decrementing the round counts of the
+// entries that stay. The caller holds w.mu.
+func (w *Wheel) advance(due []timer) []timer {
+	w.cur = (w.cur + 1) & (len(w.buckets) - 1)
+	b := w.buckets[w.cur]
+	keep := b[:0]
+	for _, t := range b {
+		if t.rounds > 0 {
+			t.rounds--
+			keep = append(keep, t)
+		} else {
+			due = append(due, t)
+		}
+	}
+	w.buckets[w.cur] = keep
+	return due
 }
 
 // run is the wheel goroutine: advance the cursor each tick, collect the
@@ -126,18 +158,7 @@ func (w *Wheel) run() {
 			return
 		case <-tk.C:
 			w.mu.Lock()
-			w.cur = (w.cur + 1) & (len(w.buckets) - 1)
-			b := w.buckets[w.cur]
-			keep := b[:0]
-			for _, t := range b {
-				if t.rounds > 0 {
-					t.rounds--
-					keep = append(keep, t)
-				} else {
-					due = append(due, t)
-				}
-			}
-			w.buckets[w.cur] = keep
+			due = w.advance(due)
 			w.mu.Unlock()
 			for i := range due {
 				due[i].fn()

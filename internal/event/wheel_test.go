@@ -1,0 +1,84 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+// fireStep schedules a timer `ticks` advances ahead on a stopped-clock
+// wheel and returns the advance count at which it fired, driving the
+// cursor by hand (no ticker goroutine, fully deterministic).
+func fireStep(t *testing.T, w *Wheel, ticks int) int {
+	t.Helper()
+	fired := false
+	w.mu.Lock()
+	w.schedule(ticks, func() { fired = true })
+	w.mu.Unlock()
+	var due []timer
+	for step := 1; step <= 8*len(w.buckets); step++ {
+		w.mu.Lock()
+		due = w.advance(due[:0])
+		w.mu.Unlock()
+		for i := range due {
+			due[i].fn()
+		}
+		if fired {
+			return step
+		}
+	}
+	t.Fatalf("timer at %d ticks never fired within %d advances", ticks, 8*len(w.buckets))
+	return -1
+}
+
+// TestWheelRoundsBoundary pins the revolution-boundary regression: a
+// delay that is an exact multiple of tick·buckets used to carry one
+// round too many (rounds = ticks/buckets instead of (ticks-1)/buckets)
+// and fired a full revolution (~tick·buckets) late. A timer scheduled
+// `ticks` advances ahead must fire on exactly the ticks-th advance —
+// never early, and at a revolution multiple not one revolution late.
+func TestWheelRoundsBoundary(t *testing.T) {
+	const buckets = 8
+	w := NewWheel(time.Millisecond, buckets)
+	defer w.Stop()
+	for _, ticks := range []int{1, 2, buckets - 1, buckets, buckets + 1, 2 * buckets, 2*buckets + 1, 3 * buckets} {
+		if got := fireStep(t, w, ticks); got != ticks {
+			t.Errorf("timer scheduled %d ticks ahead fired on advance %d", ticks, got)
+		}
+	}
+}
+
+// TestWheelAfterExactRevolution is the wall-clock face of the same
+// regression: an After whose tick count equals the bucket count (one
+// exact revolution) must fire after ~one revolution, not two. Margins
+// are generous — late firing under scheduler pressure is allowed by the
+// timer contract, but a full extra revolution is the bug.
+func TestWheelAfterExactRevolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timer test; covered deterministically by TestWheelRoundsBoundary")
+	}
+	const (
+		tick    = 20 * time.Millisecond
+		buckets = 4
+	)
+	// d/tick + 1 == buckets, the exact-revolution placement.
+	d := (buckets - 1) * tick
+	w := NewWheel(tick, buckets)
+	defer w.Stop()
+	start := time.Now()
+	done := make(chan time.Duration, 1)
+	w.After(d, func() { done <- time.Since(start) })
+	select {
+	case got := <-done:
+		if got < d {
+			t.Fatalf("timer fired after %v, before the requested %v", got, d)
+		}
+		// Correct firing is ~tick·buckets (80ms); the regression fired at
+		// ~2·tick·buckets (160ms). Split the difference with slack.
+		if limit := tick*buckets + tick*buckets/2; got > limit {
+			t.Fatalf("timer fired after %v, a revolution late (want ~%v, limit %v)",
+				got, tick*buckets, limit)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}

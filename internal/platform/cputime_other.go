@@ -1,0 +1,12 @@
+//go:build !unix
+
+package platform
+
+import "time"
+
+// ProcessCPUTime reports false on platforms without rusage; the
+// IdleBurn benchmark then records wall-clock activity only and its
+// CPU-ratio gate stands down.
+func ProcessCPUTime() (time.Duration, bool) {
+	return 0, false
+}

@@ -1,0 +1,172 @@
+package sched
+
+import "sync/atomic"
+
+// Worker idle states, as published in each worker's parking state word.
+// Only the owning worker moves itself between Running and Spinning, and
+// only the owner enters Parked; leaving Parked is a CAS race between
+// the owner (cancelling its own park after the pre-sleep recheck) and a
+// waker claiming it, so a wake token is produced exactly once per park.
+const (
+	// WorkerRunning: executing tasks (or between Get attempts that are
+	// finding work).
+	WorkerRunning int32 = iota
+	// WorkerSpinning: in the bounded idle spin phase of the park ladder,
+	// still polling the scheduler.
+	WorkerSpinning
+	// WorkerParked: registered for sleep; the worker either cancels
+	// (recheck found work) or blocks on its wake channel until a
+	// producer claims it.
+	WorkerParked
+)
+
+// parkSlot is one worker's parking state: the state word and the cap-1
+// wake channel the worker sleeps on, padded so neighbouring workers'
+// park/wake traffic never false-shares.
+type parkSlot struct {
+	state atomic.Int32
+	wake  chan struct{}
+	_     [48]byte
+}
+
+// Parker is the elastic pool's park/wake mechanism: per-worker parking
+// channels behind padded state words, with a shared parked count so the
+// producer-side fast path (nobody parked, nobody to wake) is a single
+// atomic load. It follows the check-then-park pattern of gvisor's
+// sleep/seqcount machinery:
+//
+//   - A worker publishes itself as parked (state word + parked count),
+//     then re-checks for work; only if the recheck still sees nothing
+//     does it block on its channel.
+//   - A producer makes work visible first, then reads the parked count
+//     and claims at most one parked worker (CAS on its state word), and
+//     the claim winner alone sends the wake token.
+//
+// Both publications are sequentially consistent atomics, so the classic
+// lost-wakeup interleaving cannot happen: either the worker's recheck
+// observes the produced work, or the producer's parked-count read
+// observes the parked worker — never neither. A worker whose recheck
+// finds work cancels its own park with the same CAS; losing that race
+// means a producer already committed a token, which the worker then
+// consumes so the channel is empty for the next cycle.
+type Parker struct {
+	// nparked is the producer fast path: wakers bail on a single load
+	// when no worker is parked. Padded on both sides — it is written on
+	// every park/wake edge and read on every enqueue.
+	_       [64]byte
+	nparked atomic.Int64
+	_       [56]byte
+
+	// parks and wakes are cumulative diagnostics (Runtime.Stats): parks
+	// counts actual blocking parks (cancelled parks excluded), wakes
+	// counts delivered wake tokens. Cold counters, written only on
+	// park/wake edges.
+	parks atomic.Uint64
+	wakes atomic.Uint64
+
+	slots []parkSlot
+}
+
+// NewParker returns a parker for n workers, all initially running.
+func NewParker(n int) *Parker {
+	if n < 1 {
+		n = 1
+	}
+	p := &Parker{slots: make([]parkSlot, n)}
+	for i := range p.slots {
+		p.slots[i].wake = make(chan struct{}, 1)
+	}
+	return p
+}
+
+// MarkSpinning publishes worker id as idle-spinning (diagnostics only;
+// not part of the wake protocol). Must only be called by the owning
+// worker, and never while parked.
+func (p *Parker) MarkSpinning(id int) { p.slots[id].state.Store(WorkerSpinning) }
+
+// MarkRunning publishes worker id as running again. Must only be called
+// by the owning worker, and never while parked.
+func (p *Parker) MarkRunning(id int) { p.slots[id].state.Store(WorkerRunning) }
+
+// Park blocks worker id until a producer wakes it. Before sleeping it
+// calls recheck exactly once, after the worker is already visible as
+// parked; if recheck reports work, the park is cancelled and Park
+// returns immediately (consuming a racing producer's wake token if one
+// was committed). recheck must be cheap and must observe everything a
+// producer publishes before calling WakeOne — that ordering is the
+// whole lost-wakeup argument. On return the worker's state is Running.
+func (p *Parker) Park(id int, recheck func() bool) {
+	s := &p.slots[id]
+	s.state.Store(WorkerParked)
+	p.nparked.Add(1)
+	if recheck() {
+		// Work raced in (or was already there): cancel the park. Losing
+		// the CAS means a waker claimed this worker concurrently and its
+		// token is (or is about to be) in the channel; consume it so the
+		// next park cannot wake spuriously.
+		if s.state.CompareAndSwap(WorkerParked, WorkerRunning) {
+			p.nparked.Add(-1)
+			return
+		}
+		<-s.wake
+		return
+	}
+	p.parks.Add(1)
+	<-s.wake
+}
+
+// WakeOne wakes at most one parked worker. Callers must publish the
+// work (queue insertion, counter increment) before calling, so a worker
+// concurrently executing its pre-sleep recheck cannot miss both the
+// work and the wake. When no worker is parked this is a single atomic
+// load.
+func (p *Parker) WakeOne() {
+	if p.nparked.Load() == 0 {
+		return
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.state.Load() == WorkerParked && s.state.CompareAndSwap(WorkerParked, WorkerRunning) {
+			p.nparked.Add(-1)
+			p.wakes.Add(1)
+			s.wake <- struct{}{}
+			return
+		}
+	}
+}
+
+// WakeAll wakes every currently parked worker (shutdown, exit cascade).
+func (p *Parker) WakeAll() {
+	if p.nparked.Load() == 0 {
+		return
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.state.Load() == WorkerParked && s.state.CompareAndSwap(WorkerParked, WorkerRunning) {
+			p.nparked.Add(-1)
+			p.wakes.Add(1)
+			s.wake <- struct{}{}
+		}
+	}
+}
+
+// Parked returns the number of currently parked workers.
+func (p *Parker) Parked() int { return int(p.nparked.Load()) }
+
+// Spinning returns the number of workers currently in the idle spin
+// phase (diagnostics; a racy snapshot like Parked).
+func (p *Parker) Spinning() int {
+	n := 0
+	for i := range p.slots {
+		if p.slots[i].state.Load() == WorkerSpinning {
+			n++
+		}
+	}
+	return n
+}
+
+// Parks returns the cumulative number of blocking parks.
+func (p *Parker) Parks() uint64 { return p.parks.Load() }
+
+// Wakes returns the cumulative number of wake tokens delivered.
+func (p *Parker) Wakes() uint64 { return p.wakes.Load() }

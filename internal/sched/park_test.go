@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitParked blocks until at least n workers are visibly parked.
+func waitParked(t *testing.T, p *Parker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Parked() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers parked", p.Parked(), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestParkerWakeOne: a parked worker is released by exactly one wake.
+func TestParkerWakeOne(t *testing.T) {
+	p := NewParker(2)
+	done := make(chan struct{})
+	go func() {
+		p.Park(0, func() bool { return false })
+		close(done)
+	}()
+	// Wait until the worker is visibly parked, then wake it.
+	waitParked(t, p, 1)
+	p.WakeOne()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked worker never woke")
+	}
+	if got := p.Parked(); got != 0 {
+		t.Fatalf("Parked() = %d after wake, want 0", got)
+	}
+	if p.Parks() != 1 || p.Wakes() != 1 {
+		t.Fatalf("parks/wakes = %d/%d, want 1/1", p.Parks(), p.Wakes())
+	}
+}
+
+// TestParkerRecheckCancels: a recheck that reports work cancels the
+// park without blocking and without counting a park.
+func TestParkerRecheckCancels(t *testing.T) {
+	p := NewParker(1)
+	done := make(chan struct{})
+	go func() {
+		p.Park(0, func() bool { return true })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Park with positive recheck blocked")
+	}
+	if p.Parked() != 0 || p.Parks() != 0 {
+		t.Fatalf("cancelled park left state: parked=%d parks=%d", p.Parked(), p.Parks())
+	}
+}
+
+// TestParkerWakeAll releases every parked worker at once.
+func TestParkerWakeAll(t *testing.T) {
+	const n = 8
+	p := NewParker(n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p.Park(id, func() bool { return false })
+		}(id)
+	}
+	waitParked(t, p, n)
+	p.WakeAll()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WakeAll left workers parked")
+	}
+}
+
+// TestParkerLostWakeupHammer drives the full check-then-park protocol
+// under contention: workers consume from a shared counter, parking when
+// it is empty; producers increment it and call WakeOne, exactly the
+// runtime's enqueue edge. Every produced item must be consumed — a
+// single lost wakeup strands items with every worker asleep and the
+// test times out.
+func TestParkerLostWakeupHammer(t *testing.T) {
+	const workers = 4
+	items := 20_000
+	if testing.Short() {
+		items = 4_000
+	}
+	if os.Getenv("REPRO_STRESS_ELASTIC") == "on" {
+		items *= 5
+	}
+	p := NewParker(workers)
+	var queue, consumed atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				if v := queue.Load(); v > 0 && queue.CompareAndSwap(v, v-1) {
+					consumed.Add(1)
+					continue
+				}
+				if stop.Load() {
+					return
+				}
+				p.Park(id, func() bool { return queue.Load() > 0 || stop.Load() })
+			}
+		}(id)
+	}
+	const producers = 2
+	var pwg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		pwg.Add(1)
+		go func(pr int) {
+			defer pwg.Done()
+			n := items / producers
+			if pr == 0 {
+				n += items % producers
+			}
+			for i := 0; i < n; i++ {
+				queue.Add(1)
+				p.WakeOne()
+				if i%512 == 511 {
+					// A breather lets workers drain and park, so the next
+					// burst races the park edge rather than a warm loop.
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(pr)
+	}
+	pwg.Wait()
+	deadline := time.Now().Add(30 * time.Second)
+	for consumed.Load() < int64(items) {
+		if time.Now().After(deadline) {
+			t.Fatalf("lost wakeup: consumed %d of %d items (parked=%d, queue=%d)",
+				consumed.Load(), items, p.Parked(), queue.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	p.WakeAll()
+	wg.Wait()
+	if queue.Load() != 0 {
+		t.Fatalf("queue = %d after drain, want 0", queue.Load())
+	}
+}

@@ -48,17 +48,31 @@ func (ws *WorkShare[T]) Offer(t *T) bool {
 
 // Take removes and returns a published task, or nil when all slots are
 // empty. start spreads concurrent takers across the slots (workers pass
-// their own index).
+// their own index); any int is accepted — the offset is reduced through
+// uint arithmetic, which cannot go negative (negating math.MinInt
+// would).
 func (ws *WorkShare[T]) Take(start int) *T {
 	n := len(ws.slots)
-	if start < 0 {
-		start = -start
-	}
+	off := int(uint(start) % uint(n))
 	for i := 0; i < n; i++ {
-		s := &ws.slots[(start+i)%n]
+		s := &ws.slots[(off+i)%n]
 		if p := s.p.Load(); p != nil && s.p.CompareAndSwap(p, nil) {
 			return p
 		}
 	}
 	return nil
+}
+
+// Any reports whether at least one slot currently holds a task. It is
+// the elastic pool's pre-park recheck for the hand-off lane: a plain
+// load sweep, so a worker that published itself as parked before
+// calling Any cannot miss an Offer that completed before its producer
+// looked for parked workers.
+func (ws *WorkShare[T]) Any() bool {
+	for i := range ws.slots {
+		if ws.slots[i].p.Load() != nil {
+			return true
+		}
+	}
+	return false
 }

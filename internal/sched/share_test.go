@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,41 @@ func TestWorkShareOfferTake(t *testing.T) {
 	}
 	if ws.Take(5) != &c {
 		t.Fatal("take with spread start missed the occupied slot")
+	}
+}
+
+// TestWorkShareTakeExtremeStart pins the hardening fix for negative
+// start indices: -math.MinInt is still math.MinInt (negative), so the
+// old negate-then-mod normalization produced a negative slot index and
+// panicked. Any int must be a usable spread offset.
+func TestWorkShareTakeExtremeStart(t *testing.T) {
+	for _, slots := range []int{1, 3, 16} {
+		ws := NewWorkShare[int](slots)
+		for _, start := range []int{math.MinInt, math.MinInt + 1, -1, 0, 1, math.MaxInt} {
+			v := start & 0xff
+			if !ws.Offer(&v) {
+				t.Fatalf("offer into empty %d-slot lane failed", slots)
+			}
+			if got := ws.Take(start); got != &v {
+				t.Fatalf("Take(%d) on %d slots = %v, want the offered task", start, slots, got)
+			}
+		}
+	}
+}
+
+func TestWorkShareAny(t *testing.T) {
+	ws := NewWorkShare[int](2)
+	if ws.Any() {
+		t.Fatal("Any() on empty lane = true")
+	}
+	v := 1
+	ws.Offer(&v)
+	if !ws.Any() {
+		t.Fatal("Any() with an occupied slot = false")
+	}
+	ws.Take(0)
+	if ws.Any() {
+		t.Fatal("Any() after drain = true")
 	}
 }
 

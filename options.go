@@ -78,6 +78,23 @@ func WithPinnedWorkers() Option {
 	return func(c *core.Config) { c.PinWorkers = true }
 }
 
+// WithMinWorkers keeps the first n workers out of the elastic parking
+// ladder: they idle by spin-yielding forever, immune to wake-up
+// latency at the cost of idle CPU. 0 (the default) lets every worker
+// park; values above the worker count clamp.
+func WithMinWorkers(n int) Option {
+	return func(c *core.Config) { c.MinWorkers = n }
+}
+
+// WithIdleSpin sets the per-worker idle spin budget: how many
+// consecutive empty scheduler polls a worker tolerates before parking
+// on its wake channel. 0 selects the default (1024); negative disables
+// parking entirely — the pure-spin idle behaviour the IdleBurn
+// benchmark uses as its baseline.
+func WithIdleSpin(n int) Option {
+	return func(c *core.Config) { c.IdleSpin = n }
+}
+
 // WithEventSlots sets the number of exclusive completer slots external
 // event decrements borrow when the final Done arrives from a
 // non-worker goroutine. The count bounds completer parallelism, never

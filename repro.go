@@ -178,6 +178,9 @@ type (
 	AllocKind = core.AllocKind
 	// PolicyKind selects the unsynchronized scheduling policy.
 	PolicyKind = core.PolicyKind
+	// Stats is an elastic-worker-pool snapshot (Runtime.Stats): parked
+	// and spinning worker counts plus cumulative park/wake counters.
+	Stats = core.Stats
 )
 
 // ErrTaskSkipped marks tasks drained without executing because their

@@ -15,7 +15,16 @@
 // they are snapshotted under "extra". Metrics whose unit ends in "-ns"
 // (the QoS latency percentiles p50/p95/p99-int-ns, batch-ns) are
 // wall-clock quantities: with -count they take the per-metric best
-// across runs, and -compare gates them like ns/op.
+// across runs, and -compare gates them like ns/op. The QoS
+// deadline-miss-rate rides the same rules (it is a queueing outcome,
+// host-shape-dependent like wall clock) with an absolute floor of 5
+// percentage points. Benchmarks marked Scenario in bench.Tier2 (the
+// QoS server and echo serving scenarios) fold across -count by
+// element-wise MEDIAN instead of best-of — their per-op wall clock has
+// tail-latency-class spread, and a best-of baseline records a lucky
+// mode later runs cannot match — and their ns/op gates at
+// -latency-threshold. See cmd/benchjson/README.md for the full flag
+// and gate-rule reference.
 //
 // With -compare the tool is a perf-regression gate: after running the
 // set it compares against the named snapshot file and exits non-zero
@@ -43,7 +52,8 @@
 //	go run ./cmd/benchjson -count=5 -compare BENCH_BASELINE.json -threshold 1.25
 //
 // -count repeats the whole set and keeps each benchmark's best (minimum
-// ns/op) run, the usual defense against scheduler noise; -benchtime
+// ns/op) run — median for Scenario benchmarks, as above — the usual
+// defense against scheduler noise; -benchtime
 // forwards to the testing package ("2s", "10000x"); -rootshards forces
 // the root-domain shard count of the concurrent-submission benchmarks
 // (1 reproduces the serialized regMu-era baseline).
@@ -93,16 +103,17 @@ func main() {
 	testing.Init()
 	out := flag.String("out", "", "output JSON file, merged if it exists (empty: no file written)")
 	label := flag.String("label", "optimized", "snapshot label within the output file")
-	count := flag.Int("count", 1, "runs per benchmark; the best (min ns/op) is recorded")
+	count := flag.Int("count", 1, "runs per benchmark; the best (min ns/op) run is recorded (median for Scenario benchmarks)")
 	benchtime := flag.String("benchtime", "", "per-run budget, e.g. 2s or 10000x (default: the testing package's 1s)")
 	rootShards := flag.Int("rootshards", 0, "force Config.RootShards in the concurrent-submission benchmarks (0: runtime default, 1: serialized regMu-equivalent baseline)")
 	compare := flag.String("compare", "", "baseline JSON file to gate against; exit non-zero on regressions")
 	baselineLabel := flag.String("baseline-label", "baseline", "snapshot label inside the -compare file")
 	threshold := flag.Float64("threshold", 1.25, "regression ratio: fail when new/old exceeds this")
-	latThreshold := flag.Float64("latency-threshold", 3.0,
-		"regression ratio for custom latency metrics (tail quantiles are far noisier "+
-			"run-to-run than ns/op means; the regression mode this gate exists for — "+
-			"the priority machinery going dark — is an order of magnitude)")
+	latThreshold := flag.Float64("latency-threshold", 6.0,
+		"regression ratio for custom latency metrics and Scenario ns/op (tail quantiles "+
+			"spread up to ~4x between median-folded runs on a loaded host; the regression "+
+			"mode this gate exists for — the priority machinery going dark — is 10-40x, "+
+			"so 6x stays fully sensitive without coin-flipping on host noise)")
 	floorNs := flag.Float64("floor-ns", 50, "ignore ns/op regressions whose absolute delta is below this (noise floor)")
 	echoLatency := flag.Duration("echo-latency", bench.EchoBackendLatency,
 		"simulated backend round trip of the Echo benchmarks (longer = more in-flight capacity headroom, slower runs)")
@@ -128,7 +139,7 @@ func main() {
 		Benchmarks: map[string]entry{},
 	}
 	for _, bm := range bench.Tier2 {
-		best := entry{}
+		runs := make([]entry, 0, *count)
 		for c := 0; c < *count; c++ {
 			r := testing.Benchmark(bm.F)
 			e := entry{
@@ -143,15 +154,9 @@ func main() {
 					e.Extra[k] = v
 				}
 			}
-			// ns/op keeps the whole best run; custom wall-clock metrics
-			// take the element-wise minimum across the -count runs (the
-			// same best-of noise defense, per metric).
-			extra := minExtras(best.Extra, e.Extra)
-			if c == 0 || e.NsPerOp < best.NsPerOp {
-				best = e
-			}
-			best.Extra = extra
+			runs = append(runs, e)
 		}
+		best := foldRuns(runs, bm.Scenario)
 		snap.Benchmarks[bm.Name] = best
 		fmt.Printf("%-32s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 			bm.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, best.N)
@@ -191,6 +196,7 @@ func main() {
 		regressions = append(regressions, echoCapacityCheck(snap)...)
 		regressions = append(regressions, graphServeCheck(snap)...)
 		regressions = append(regressions, idleBurnCheck(snap)...)
+		regressions = append(regressions, qosDeadlineCheck(snap)...)
 		for _, w := range warnings {
 			fmt.Println("warning: " + w)
 			if os.Getenv("GITHUB_ACTIONS") == "true" {
@@ -300,6 +306,85 @@ func idleBurnCheck(cur snapshot) []string {
 	return out
 }
 
+// qosDeadlineCheck enforces the deadline-scheduling acceptance ratio on
+// the current run, independent of any baseline: under identical
+// deadline accounting, the EDF+inheritance run's interactive miss rate
+// must stay strictly below the priority-blind run's, at no more than a
+// 20% batch-throughput cost. The miss-rate half stands down when the
+// blind baseline itself barely misses (under 5% of requests) — on an
+// unloaded or huge host there is no inversion for the scheduler to fix,
+// and a strict ordering of two near-zero rates would gate on noise.
+func qosDeadlineCheck(cur snapshot) []string {
+	edf, okE := cur.Benchmarks["ServerQoSDeadlineEDF"]
+	bl, okB := cur.Benchmarks["ServerQoSDeadlineBlind"]
+	if !okE || !okB {
+		return nil
+	}
+	var out []string
+	em, bm := edf.Extra["deadline-miss-rate"], bl.Extra["deadline-miss-rate"]
+	if bm >= 0.05 && em >= bm {
+		out = append(out, fmt.Sprintf(
+			"ServerQoSDeadlineEDF: %.3f deadline-miss-rate vs priority-blind %.3f — EDF+inheritance must miss strictly less",
+			em, bm))
+	}
+	eb, bb := edf.Extra["batch-ns"], bl.Extra["batch-ns"]
+	if bb > 0 && eb > 1.20*bb {
+		out = append(out, fmt.Sprintf(
+			"ServerQoSDeadlineEDF: %.0f batch-ns vs blind %.0f (%.2fx) — deadline scheduling must cost <= 20%% batch throughput",
+			eb, bb, eb/bb))
+	}
+	return out
+}
+
+// foldRuns collapses the -count runs of one benchmark into the
+// recorded entry. Code-path benchmarks keep the whole best (min ns/op)
+// run with element-wise-min extras — repeated runs can only converge on
+// the true cost from above. Scenario benchmarks take the element-wise
+// MEDIAN instead: their ns/op and latency metrics are queueing
+// outcomes with several-x run-to-run spread, and a best-of baseline
+// records a lucky mode later runs cannot reproduce, turning the gate
+// into a coin flip. Median-vs-median is stable on both sides of the
+// comparison.
+func foldRuns(runs []entry, scenario bool) entry {
+	if !scenario {
+		best := runs[0]
+		for _, e := range runs[1:] {
+			extra := minExtras(best.Extra, e.Extra)
+			if e.NsPerOp < best.NsPerOp {
+				best = e
+			}
+			best.Extra = extra
+		}
+		return best
+	}
+	byNs := make([]entry, len(runs))
+	copy(byNs, runs)
+	sort.Slice(byNs, func(i, j int) bool { return byNs[i].NsPerOp < byNs[j].NsPerOp })
+	out := byNs[len(byNs)/2]
+	keys := map[string]struct{}{}
+	for _, e := range runs {
+		for k := range e.Extra {
+			keys[k] = struct{}{}
+		}
+	}
+	if len(keys) > 0 {
+		extra := make(map[string]float64, len(keys))
+		vals := make([]float64, 0, len(runs))
+		for k := range keys {
+			vals = vals[:0]
+			for _, e := range runs {
+				if v, ok := e.Extra[k]; ok {
+					vals = append(vals, v)
+				}
+			}
+			sort.Float64s(vals)
+			extra[k] = vals[len(vals)/2]
+		}
+		out.Extra = extra
+	}
+	return out
+}
+
 // minExtras merges two custom-metric maps, keeping the per-key minimum
 // (for wall-clock latencies lower is better; for the echo
 // inflight-per-worker capacity the minimum is the conservative —
@@ -319,6 +404,15 @@ func minExtras(a, b map[string]float64) map[string]float64 {
 		}
 	}
 	return out
+}
+
+// gatedMetric reports whether a custom metric is baseline-gated: the
+// wall-clock "-ns" family plus the QoS deadline-miss-rate (which varies
+// with host shape exactly like wall clock). Throughput-style extras
+// (req/s, inflight-per-worker, idle-mcores-*) are covered by the
+// same-run invariant checks instead.
+func gatedMetric(k string) bool {
+	return strings.HasSuffix(k, "-ns") || k == "deadline-miss-rate"
 }
 
 // sortedKeys returns m's keys in stable order for deterministic output.
@@ -394,15 +488,26 @@ func compareSnapshots(old, cur snapshot, threshold, latThreshold, floorNs float6
 				fmt.Sprintf("%s: in baseline but not measured anymore", name))
 			continue
 		}
-		if compareNs && n.NsPerOp > o.NsPerOp*threshold && n.NsPerOp-o.NsPerOp > floorNs {
+		// Scenario benchmarks' ns/op is a serving-window wall clock with
+		// tail-latency-class spread, so it rides the wider latency
+		// threshold; code-path benchmarks use the tight one.
+		nsThreshold := threshold
+		if bench.ScenarioByName(name) {
+			nsThreshold = latThreshold
+		}
+		if compareNs && n.NsPerOp > o.NsPerOp*nsThreshold && n.NsPerOp-o.NsPerOp > floorNs {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx)",
 					name, n.NsPerOp, o.NsPerOp, n.NsPerOp/o.NsPerOp))
 		}
-		// Custom wall-clock metrics (latency percentiles): same rules as
-		// ns/op, keyed per metric.
+		// Custom wall-clock metrics (latency percentiles) and the QoS
+		// deadline-miss-rate: same rules as ns/op, keyed per metric. The
+		// miss rate is a queueing outcome, as host-shape-dependent as any
+		// wall clock, so it rides the same GOMAXPROCS guard and the wider
+		// latThreshold — with an absolute floor of 5 percentage points in
+		// place of floorNs (its unit is a fraction, not nanoseconds).
 		for _, k := range sortedKeys(o.Extra) {
-			if !strings.HasSuffix(k, "-ns") {
+			if !gatedMetric(k) {
 				continue
 			}
 			nv, ok := n.Extra[k]
@@ -412,14 +517,18 @@ func compareSnapshots(old, cur snapshot, threshold, latThreshold, floorNs float6
 				continue
 			}
 			ov := o.Extra[k]
-			if compareNs && nv > ov*latThreshold && nv-ov > floorNs {
+			floor := floorNs
+			if k == "deadline-miss-rate" {
+				floor = 0.05
+			}
+			if compareNs && nv > ov*latThreshold && nv-ov > floor {
 				regressions = append(regressions,
-					fmt.Sprintf("%s: %.1f %s vs baseline %.1f (%.2fx)",
+					fmt.Sprintf("%s: %.3g %s vs baseline %.3g (%.2fx)",
 						name, nv, k, ov, nv/ov))
 			}
 		}
 		for _, k := range sortedKeys(n.Extra) {
-			if _, ok := o.Extra[k]; !ok && strings.HasSuffix(k, "-ns") {
+			if _, ok := o.Extra[k]; !ok && gatedMetric(k) {
 				warnings = append(warnings, fmt.Sprintf(
 					"%s: metric %s reported but not in the baseline — refresh BENCH_BASELINE.json", name, k))
 			}

@@ -48,8 +48,13 @@ type CompiledGraph struct {
 	// clause per node: spawns inherit the spawning task's priority, so
 	// a template with any elevated node pins every node's level
 	// explicitly (shared read-only slices, passed to Spawn verbatim).
+	// When any node has a deadline (hasDL), each spec additionally
+	// carries a deadline clause at index 1 — but deadlines are absolute
+	// per request, so frames then use a private mutable copy of spec,
+	// restamped in begin (the template's slices stay read-only).
 	roots []int32
 	spec  [][]AccessSpec
+	hasDL bool
 
 	// frames pools per-request execution state; see GraphExec.
 	frames sync.Pool
@@ -75,7 +80,8 @@ type cnode struct {
 	deps  []int32 // topological indices of dependencies (the join count)
 	succs []int32 // topological indices of dependents
 	pri   int
-	pure  bool // MarkPure and every transitive dependency pure
+	dl    time.Duration // request-relative deadline; 0 = none
+	pure  bool          // MarkPure and every transitive dependency pure
 }
 
 // memoEntry is one memoized pure-node result, valid while ver matches
@@ -111,7 +117,9 @@ func (g *Graph) Compile(rt *Runtime, opts ...CompileOption) (*CompiledGraph, err
 		cn.name = n.name
 		cn.fn = n.fn
 		cn.pri = n.pri
+		cn.dl = n.dl
 		elevated = elevated || n.pri != 0
+		cg.hasDL = cg.hasDL || n.dl != 0
 		cn.deps = make([]int32, len(n.deps))
 		// Dependencies precede dependents in topological order, so
 		// their effective purity (and this node's successor edges)
@@ -128,10 +136,17 @@ func (g *Graph) Compile(rt *Runtime, opts ...CompileOption) (*CompiledGraph, err
 			cg.roots = append(cg.roots, int32(i))
 		}
 	}
-	if elevated {
+	if elevated || cg.hasDL {
 		cg.spec = make([][]AccessSpec, len(order))
 		for i := range cg.nodes {
 			cg.spec[i] = []AccessSpec{WithPriority(cg.nodes[i].pri)}
+			if cg.hasDL {
+				// Index 1 is the deadline clause by convention; Len 0
+				// means "no deadline" and is only overwritten — per
+				// request, on the frame's private copy — for nodes with
+				// a relative deadline (begin).
+				cg.spec[i] = append(cg.spec[i], WithDeadlineAt(0))
+			}
 		}
 	}
 	cg.memo = make([]atomic.Pointer[memoEntry], len(order))
@@ -249,6 +264,12 @@ type GraphExec struct {
 	root    func(*Ctx)
 	depm    []map[string]any
 
+	// spec is the frame's private copy of the template's access specs,
+	// present only when the template has deadline nodes: deadlines are
+	// absolute, so begin restamps each deadline clause to "request start
+	// + node offset" here, never on the shared template slices.
+	spec [][]AccessSpec
+
 	vals  []any
 	errs  []error
 	state []uint8
@@ -278,6 +299,12 @@ func (cg *CompiledGraph) newFrame() *GraphExec {
 		errs:    make([]error, n),
 		state:   make([]uint8, n),
 	}
+	if cg.hasDL {
+		e.spec = make([][]AccessSpec, n)
+		for i := range cg.spec {
+			e.spec[i] = append([]AccessSpec(nil), cg.spec[i]...)
+		}
+	}
 	for i := range cg.nodes {
 		cn := &cg.nodes[i]
 		e.depm[i] = make(map[string]any, len(cn.deps))
@@ -303,18 +330,25 @@ func (cg *CompiledGraph) newFrame() *GraphExec {
 	return e
 }
 
-// spawnNode spawns node i's task: access-free, with an explicit
-// priority clause when the template has any elevated node (spawns
-// inherit the spawning task's level otherwise).
+// spawnNode spawns node i's task: access-free, with explicit priority
+// (and, on deadline templates, deadline) clauses when the template has
+// any elevated or deadlined node (spawns inherit the spawning task's
+// level otherwise). The frame's restamped spec wins over the template's.
 func (e *GraphExec) spawnNode(c *Ctx, i int) {
-	if spec := e.cg.spec; spec != nil {
+	if spec := e.spec; spec != nil {
+		c.Spawn(e.bodies[i], spec[i]...)
+	} else if spec := e.cg.spec; spec != nil {
 		c.Spawn(e.bodies[i], spec[i]...)
 	} else {
 		c.Spawn(e.bodies[i])
 	}
 }
 
-// begin readies a pooled frame for the next request.
+// begin readies a pooled frame for the next request. On deadline
+// templates it also stamps each deadlined node's absolute deadline as
+// "now + offset" into the frame's private spec copy (deadline-less
+// nodes keep Len 0 — no deadline — which also clears any deadline the
+// spawning task would otherwise pass down).
 func (e *GraphExec) begin() {
 	clear(e.vals)
 	clear(e.errs)
@@ -322,6 +356,14 @@ func (e *GraphExec) begin() {
 	e.err = nil
 	for i := range e.pending {
 		e.pending[i].Store(int32(len(e.cg.nodes[i].deps)))
+	}
+	if e.spec != nil {
+		base := core.NowNS()
+		for i := range e.cg.nodes {
+			if dl := e.cg.nodes[i].dl; dl != 0 {
+				e.spec[i][1].Len = int(base + dl.Nanoseconds())
+			}
+		}
 	}
 }
 

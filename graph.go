@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/core"
 )
@@ -68,6 +69,7 @@ type gnode struct {
 	deps []string
 	fn   GraphFunc
 	pri  int
+	dl   time.Duration
 	pure bool
 
 	// val/err are written once by the node's task body (or its skip
@@ -119,6 +121,32 @@ func (g *Graph) SetPriority(name string, pri int) *Graph {
 		return g
 	}
 	n.pri = pri
+	g.compiled = nil
+	return g
+}
+
+// SetDeadline assigns a scheduling deadline, relative to the start of
+// each Run/Do request, to an already-added task: when the request
+// begins, the node's task is stamped with an absolute deadline of
+// "request start + d" (WithDeadline semantics — advisory EDF ordering
+// within the top priority level on WithEDF runtimes, nothing is
+// cancelled when it passes; combine with SetPriority(name,
+// MaxPriority) to place the node in the deadline-ordered class).
+// Children spawned by the node inherit the deadline. d <= 0 clears it.
+// Referencing an unknown task is a construction error reported by Run.
+func (g *Graph) SetDeadline(name string, d time.Duration) *Graph {
+	if g.err != nil {
+		return g
+	}
+	n, ok := g.byName[name]
+	if !ok {
+		g.err = fmt.Errorf("repro: SetDeadline on unknown graph task %q", name)
+		return g
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.dl = d
 	g.compiled = nil
 	return g
 }
@@ -260,6 +288,9 @@ func (g *Graph) RunInterpreted(ctx context.Context, rt *Runtime) (map[string]Res
 			accs = append(accs, Out(&sentinels[i]))
 			if n.pri != 0 {
 				accs = append(accs, WithPriority(n.pri))
+			}
+			if n.dl != 0 {
+				accs = append(accs, WithDeadline(n.dl))
 			}
 			n.fut = Go(c, n.task(g), accs...)
 		}

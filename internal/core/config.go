@@ -138,6 +138,15 @@ type Config struct {
 	Alloc     AllocKind
 	Policy    PolicyKind
 
+	// EDF makes the top priority level deadline-aware: the highest
+	// class pops earliest-deadline-first (sched.EDF) instead of in the
+	// configured Policy order, using the absolute deadlines tasks carry
+	// via the Deadline clause (deadline-less tasks sort last, FIFO among
+	// themselves). Lower levels keep the configured policy. With the
+	// work-stealing scheduler the ordering is per-deque only — see
+	// sched.WorkStealing.
+	EDF bool
+
 	// PinWorkers locks each worker goroutine to an OS thread, the
 	// closest Go equivalent of the paper's one-thread-per-core binding.
 	PinWorkers bool

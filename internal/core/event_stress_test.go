@@ -36,8 +36,8 @@ func TestEventDifferentialStress(t *testing.T) {
 			for round := 0; round < rounds; round++ {
 				seed := baseSeed + int64(round)
 				spec := genPriSpec(rand.New(rand.NewSource(seed)))
-				evented := runPriSpec(t, sk, spec, true, true)
-				plain := runPriSpec(t, sk, spec, false, false)
+				evented := runPriSpec(t, sk, spec, true, true, false)
+				plain := runPriSpec(t, sk, spec, false, false, false)
 				for a := range evented {
 					if evented[a] != plain[a] {
 						t.Fatalf("seed %d: final version of cell %d differs: evented %d vs plain %d",

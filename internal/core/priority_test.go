@@ -258,6 +258,12 @@ type priSpec struct {
 type priTask struct {
 	accs []priAccess
 	pri  int
+	// dl is a relative deadline in nanoseconds (0 = none) and inherit
+	// the inheritance clause; both are zero in the base priority suite
+	// and randomized by genDeadlineSpec. Like priorities, they are
+	// scheduling hints only and must never change what runs.
+	dl      int64
+	inherit bool
 }
 
 type priAccess struct {
@@ -289,6 +295,23 @@ func genPriSpec(r *rand.Rand) priSpec {
 			task.accs = append(task.accs, priAccess{addr: addr, typ: typ})
 		}
 		spec.tasks = append(spec.tasks, task)
+	}
+	return spec
+}
+
+// genDeadlineSpec extends a random priority spec with random deadlines
+// (about half the tasks, microsecond-scale offsets so many have already
+// passed by execution — EDF must tolerate that) and inheritance clauses
+// (about a third), for the deadline differential dimension.
+func genDeadlineSpec(r *rand.Rand) priSpec {
+	spec := genPriSpec(r)
+	for i := range spec.tasks {
+		if r.Intn(2) == 0 {
+			spec.tasks[i].dl = int64(1+r.Intn(1000)) * int64(time.Microsecond)
+		}
+		if r.Intn(3) == 0 {
+			spec.tasks[i].inherit = true
+		}
 	}
 	return spec
 }
@@ -364,9 +387,9 @@ type priCell struct {
 // the task's dependencies at body return instead of at the final
 // decrement, a successor would observe an in-flight exclusive or a
 // stale version and report a violation.
-func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged, evented bool) []int64 {
+func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged, evented, edf bool) []int64 {
 	t.Helper()
-	rt := New(Config{Workers: 4, Scheduler: sk})
+	rt := New(Config{Workers: 4, Scheduler: sk, EDF: edf})
 	defer rt.Close()
 	cells := make([]priCell, spec.cells)
 	exps := computePriExpectations(spec)
@@ -402,6 +425,12 @@ func runPriSpec(t *testing.T, sk SchedulerKind, spec priSpec, tagged, evented bo
 			}
 			if tagged {
 				specs = append(specs, Priority(task.pri))
+				if task.dl != 0 {
+					specs = append(specs, Deadline(NowNS()+task.dl))
+				}
+				if task.inherit {
+					specs = append(specs, Inherit())
+				}
 			}
 			c.Spawn(func(cc *Ctx) {
 				if ran[ti].Add(1) != 1 {
@@ -502,11 +531,43 @@ func TestPriorityDifferentialStress(t *testing.T) {
 			for round := 0; round < rounds; round++ {
 				seed := baseSeed + int64(round)
 				spec := genPriSpec(rand.New(rand.NewSource(seed)))
-				tagged := runPriSpec(t, sk, spec, true, false)
-				plain := runPriSpec(t, sk, spec, false, false)
+				tagged := runPriSpec(t, sk, spec, true, false, false)
+				plain := runPriSpec(t, sk, spec, false, false, false)
 				for a := range tagged {
 					if tagged[a] != plain[a] {
 						t.Fatalf("seed %d: final version of cell %d differs: tagged %d vs stripped %d",
+							seed, a, tagged[a], plain[a])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlineDifferentialStress is the EDF/inheritance dimension of
+// the differential suite: randomized graphs whose tasks carry random
+// priorities, random (often already-expired) deadlines and random
+// inheritance clauses run on an EDF-enabled runtime of every scheduler
+// design, against the same spec fully stripped on a plain runtime.
+// Deadlines order and inheritance promotes only *ready* tasks, so both
+// runs must be oracle-clean, run every task exactly once, and agree on
+// the final per-address versions.
+func TestDeadlineDifferentialStress(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 10
+	}
+	baseSeed := int64(0x3177) // bump to re-roll the whole suite
+	for _, sk := range schedKindsUnderStress() {
+		t.Run(sk.testName(), func(t *testing.T) {
+			for round := 0; round < rounds; round++ {
+				seed := baseSeed + int64(round)
+				spec := genDeadlineSpec(rand.New(rand.NewSource(seed)))
+				tagged := runPriSpec(t, sk, spec, true, false, true)
+				plain := runPriSpec(t, sk, spec, false, false, false)
+				for a := range tagged {
+					if tagged[a] != plain[a] {
+						t.Fatalf("seed %d: final version of cell %d differs: deadline-tagged %d vs stripped %d",
 							seed, a, tagged[a], plain[a])
 					}
 				}

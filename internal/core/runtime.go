@@ -24,6 +24,18 @@ const (
 	traceTaskwaitEnd   = trace.KTaskwaitEnd
 )
 
+// epoch anchors the runtime's monotonic deadline clock: absolute
+// deadlines are nanoseconds since this process-wide instant, so they
+// fit an int64 with centuries of headroom and compare with plain
+// integer order inside the EDF heap.
+var epoch = time.Now()
+
+// NowNS returns the current time on the runtime's monotonic deadline
+// clock: nanoseconds since the package epoch. Deadline clauses carry
+// absolute values on this clock; WithDeadline-style helpers resolve
+// relative durations by adding them to NowNS().
+func NowNS() int64 { return int64(time.Since(epoch)) }
+
 // bypassSlot is one worker's immediate-successor hand-off: while the
 // worker is inside deps.Unregister (armed), the first task its release
 // cascade readies is parked here instead of round-tripping through the
@@ -190,13 +202,19 @@ type paddedCount struct {
 // pending counts for elevated tasks and the elastic pool's pending
 // count. Every insertion into rt.sched must go through it (ready
 // callback, commutative re-enqueue) so the counts match what Get can
-// return. The order against wakeWorker is the lost-wakeup argument's
-// producer half: pending is raised (sequentially consistent) before
-// the parked count is read, so a worker concurrently publishing itself
-// as parked either sees pending > 0 in its recheck or is seen here.
+// return. The queue level is the task's *effective* priority, and the
+// level is recorded in qstate before the insertion so a concurrent
+// promotion (promote) can re-rank the entry and move the pending
+// counts with it. The order against wakeWorker is the lost-wakeup
+// argument's producer half: pending is raised (sequentially
+// consistent) before the parked count is read, so a worker
+// concurrently publishing itself as parked either sees pending > 0 in
+// its recheck or is seen here.
 func (rt *Runtime) schedAdd(t *Task, worker int) {
-	if t.pri > 0 {
-		rt.priPending[t.pri].v.Add(1)
+	lvl := sched.ClampPriority(int(t.epri.Load()))
+	t.qstate.Store(int32(lvl + 1))
+	if lvl > 0 {
+		rt.priPending[lvl].v.Add(1)
 	}
 	rt.pending.v.Add(1)
 	rt.sched.Add(t, worker)
@@ -204,16 +222,96 @@ func (rt *Runtime) schedAdd(t *Task, worker int) {
 }
 
 // schedTook books a task obtained from rt.sched.Get/TryGet out of the
-// pending counts. Wrapping the return value keeps the counters exact:
-// a task is pending iff it has been Added and not yet returned.
+// pending counts and claims it for execution: the Swap on qstate is
+// what makes a promotion's duplicate queue entry exactly-once — the
+// first entry to pop wins the task, later (stale) entries observe
+// qstate 0 and dissolve into a nil return. The per-level pending
+// decrement uses the queue level the winning Swap observed, which is
+// the level the increments were moved to, so the counts stay exact
+// under concurrent promotion. A recycled-shell entry (the task
+// completed and the shell was re-queued for a new incarnation) is
+// indistinguishable from a genuine one and harmlessly claims the new
+// incarnation — it is ready and queued either way.
 func (rt *Runtime) schedTook(t *Task) *Task {
-	if t != nil {
-		if t.pri > 0 {
-			rt.priPending[t.pri].v.Add(-1)
-		}
-		rt.pending.v.Add(-1)
+	if t == nil {
+		return nil
+	}
+	rt.pending.v.Add(-1)
+	s := t.qstate.Swap(0)
+	if s == 0 {
+		return nil // stale duplicate left behind by a promotion re-push
+	}
+	if s > 1 {
+		rt.priPending[s-1].v.Add(-1)
 	}
 	return t
+}
+
+// promote raises t's effective priority to at least lvl and, when t is
+// currently queued below lvl, re-ranks it: the queue entry cannot be
+// removed from the policy lanes, so a *duplicate* entry is pushed at
+// the new level and qstate's Swap-claim in schedTook makes whichever
+// entry pops first the unique executor. Returns whether the effective
+// priority was actually raised — the transitive inheritance walk stops
+// at tasks already at or above the target level (which also bounds the
+// walk: epri is monotone per incarnation, so any task is raised to a
+// given level at most once).
+//
+// One narrow window is accepted as best-effort: a task between its
+// ready callback and schedAdd's qstate store observes the epri raise
+// (schedAdd reads epri after) but a task *executing* or already claimed
+// keeps running at its old level — promotion cannot preempt.
+func (rt *Runtime) promote(t *Task, lvl, worker int) bool {
+	for {
+		cur := t.epri.Load()
+		if int(cur) >= lvl {
+			return false
+		}
+		if t.epri.CompareAndSwap(cur, int32(lvl)) {
+			break
+		}
+	}
+	for {
+		s := t.qstate.Load()
+		if s == 0 || int(s) >= lvl+1 {
+			// Not queued (the raise alone suffices: a later schedAdd
+			// reads epri) or already ranked at/above the target.
+			return true
+		}
+		if t.qstate.CompareAndSwap(s, int32(lvl+1)) {
+			// Move the pending counts to the new level and push the
+			// duplicate; counts before Add, Add before wake, as in
+			// schedAdd.
+			if s > 1 {
+				rt.priPending[s-1].v.Add(-1)
+			}
+			rt.priPending[lvl].v.Add(1)
+			rt.pending.v.Add(1)
+			rt.sched.Add(t, worker)
+			rt.wakeWorker()
+			return true
+		}
+	}
+}
+
+// promotePreds is the priority-inheritance walk: promote every
+// recorded immediate predecessor of n to at least lvl, recursing into
+// the predecessors of any task the promotion actually raised. The
+// recorded slots are revalidated by generation (deps.VisitPreds), and
+// a predecessor that already completed — or whose shell was recycled
+// mid-walk — is skipped; every mutation on a stale shell is a CAS on
+// monotone state, so the worst case is a bounded scheduling anomaly
+// (an unrelated task rides one level high), never double execution.
+func (rt *Runtime) promotePreds(n *deps.Node, lvl, worker int) {
+	n.VisitPreds(func(p *deps.Node) {
+		pt, ok := p.Payload.(*Task)
+		if !ok || pt == nil || pt.alive.Load() <= 0 {
+			return
+		}
+		if rt.promote(pt, lvl, worker) {
+			rt.promotePreds(p, lvl, worker)
+		}
+	})
 }
 
 // wakeWorker wakes at most one parked worker; producers call it after
@@ -309,7 +407,7 @@ func New(cfg Config) *Runtime {
 		t := n.Payload.(*Task)
 		if bs := &rt.bypass[worker]; bs.armed && bs.next == nil &&
 			!n.HasCommutative() && t.sc.abortCause() == nil &&
-			!rt.higherPriPending(t.pri) {
+			!rt.higherPriPending(int8(t.epri.Load())) {
 			bs.next = t
 			return
 		}
@@ -348,7 +446,15 @@ func New(cfg Config) *Runtime {
 	// priority policy (paper §3.2: new scheduling policies are policy
 	// wrappers, not scheduler rework). Priority-free runs stay on the
 	// level-0 fast path, so the wrapper costs one predictable branch.
-	priOf := func(t *Task) int { return int(t.pri) }
+	// Lane selection reads the *effective* priority so a
+	// priority-inheritance promotion re-ranks where the task queues.
+	priOf := func(t *Task) int { return int(t.epri.Load()) }
+	// In deadline-aware mode (Config.EDF) the top level orders by
+	// absolute deadline instead of the configured policy.
+	var dlOf func(t *Task) int64
+	if cfg.EDF {
+		dlOf = func(t *Task) int64 { return t.deadline }
+	}
 	mkInner := func() sched.Policy[*Task] {
 		switch cfg.Policy {
 		case PolicyLIFO:
@@ -359,7 +465,12 @@ func New(cfg Config) *Runtime {
 			return sched.NewFIFO[*Task]()
 		}
 	}
-	policy := sched.Policy[*Task](sched.NewPriority(mkInner, priOf))
+	policy := sched.Policy[*Task](sched.NewPriorityLevels(func(level int) sched.Policy[*Task] {
+		if dlOf != nil && level == sched.PriorityLevels-1 {
+			return sched.NewEDF(dlOf)
+		}
+		return mkInner()
+	}, priOf))
 
 	hooks := sched.Hooks{
 		OnServe: func(owner, served int) {
@@ -383,7 +494,7 @@ func New(cfg Config) *Runtime {
 	case SchedBlocking:
 		rt.sched = sched.NewBlocking(policy)
 	case SchedWorkStealing:
-		rt.sched = sched.NewWorkStealing(slots-1, priOf)
+		rt.sched = sched.NewWorkStealing(slots-1, priOf, dlOf)
 	default:
 		panic(fmt.Sprintf("core: unknown scheduler kind %d", cfg.Scheduler))
 	}
@@ -524,19 +635,30 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 	t.parent = parent
 	t.sc = parent.sc
 	t.pri = parent.pri
+	t.inherit = parent.inherit
+	t.deadline = parent.deadline
 	t.alive.Store(1)
 	t.node.Payload = t
 	t.node.Pin()
-	// PriorityClause pseudo accesses are stripped here: they set the
-	// task's scheduling level (last clause wins, overriding the
-	// inherited one) and never reach the dependency system.
+	// Pseudo accesses (priority, deadline, inheritance clauses) are
+	// stripped here: they set the task's scheduling attributes (last
+	// clause of a kind wins, overriding the inherited value) and never
+	// reach the dependency system.
 	nacc := len(accs)
 	for i := range accs {
-		if accs[i].Type == deps.PriorityClause {
+		switch accs[i].Type {
+		case deps.PriorityClause:
 			t.pri = int8(sched.ClampPriority(accs[i].Len))
+			nacc--
+		case deps.DeadlineClause:
+			t.deadline = int64(accs[i].Len)
+			nacc--
+		case deps.InheritClause:
+			t.inherit = true
 			nacc--
 		}
 	}
+	t.epri.Store(int32(t.pri))
 	if nacc > 0 {
 		dst := t.node.InitAccesses(nacc)
 		if nacc == len(accs) {
@@ -546,7 +668,9 @@ func (rt *Runtime) newTask(parent *Task, body func(*Ctx), accs []deps.AccessSpec
 		} else {
 			j := 0
 			for i := range accs {
-				if accs[i].Type != deps.PriorityClause {
+				switch accs[i].Type {
+				case deps.PriorityClause, deps.DeadlineClause, deps.InheritClause:
+				default:
 					dst[j].Init(&t.node, accs[i])
 					j++
 				}
@@ -572,6 +696,11 @@ func (rt *Runtime) registerWith(parent *Task, d *deps.RootDomain, t *Task, worke
 	// The tracer is nil-receiver-safe (a nil *trace.Tracer no-ops every
 	// method), so emission sites call it unconditionally.
 	rt.tracer.Emit(worker, trace.KTaskCreate, 0)
+	// The inheritance clause and donor level are captured before the
+	// dependency-system call: the moment registration publishes the
+	// task it may be executed and fully completed by a worker, whose
+	// resetBody concurrently wipes the shell's plain fields.
+	inherit, lvl := t.inherit, int(t.epri.Load())
 	t0 := rt.tracer.Now()
 	if d != nil {
 		rt.deps.RegisterRoot(d, &t.node, worker)
@@ -579,6 +708,17 @@ func (rt *Runtime) registerWith(parent *Task, d *deps.RootDomain, t *Task, worke
 		rt.deps.Register(&parent.node, &t.node, worker)
 	}
 	rt.tracer.EmitTS(worker, trace.KDepRegister, uint64(rt.tracer.Now()-t0), t0)
+	// Priority inheritance: registration just recorded this task's
+	// immediate chain predecessors, so an elevated inheritance-tagged
+	// task now promotes the unsatisfied ones (transitively) to its own
+	// effective level, closing the inversion window before any
+	// mid-priority work can overtake the holder. (If the task already
+	// completed, the walk sees generation-revalidated slots and
+	// alive-guarded payloads; the worst case is a bounded anomaly, as
+	// documented on promotePreds.)
+	if inherit && lvl > 0 {
+		rt.promotePreds(&t.node, lvl, worker)
+	}
 }
 
 // spawn implements Ctx.Spawn.
@@ -613,7 +753,7 @@ func (rt *Runtime) workerLoop(id int) {
 		// this worker for the loop's remaining span.
 		if rt.loopsActive.Load() > 0 {
 			if t := rt.share.Take(id); t != nil {
-				if rt.higherPriPending(t.pri) {
+				if rt.higherPriPending(int8(t.epri.Load())) {
 					rt.schedAdd(t, id)
 				} else {
 					if spinning {
@@ -679,7 +819,7 @@ func (rt *Runtime) workerLoop(id int) {
 func (rt *Runtime) takeWork(id int) *Task {
 	if rt.loopsActive.Load() > 0 {
 		if t := rt.share.Take(id); t != nil {
-			if !rt.higherPriPending(t.pri) {
+			if !rt.higherPriPending(int8(t.epri.Load())) {
 				return t
 			}
 			rt.schedAdd(t, id)

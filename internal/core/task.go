@@ -63,6 +63,37 @@ type Task struct {
 	// stale level.
 	pri int8
 
+	// inherit marks the task as a priority-inheritance donor: at
+	// registration the runtime promotes its recorded unsatisfied
+	// predecessors (transitively) to the task's effective priority,
+	// closing the priority-inversion window. Set by the Inherit clause,
+	// inherited from the parent like pri.
+	inherit bool
+
+	// deadline is the task's absolute scheduling deadline in
+	// nanoseconds on the runtime's monotonic clock (NowNS); 0 means no
+	// deadline. Inherited from the parent like pri and overridden by a
+	// DeadlineClause pseudo access; read by the EDF policy, which sorts
+	// deadline-less tasks last. Written only before registration, so
+	// scheduler-side reads need no atomics.
+	deadline int64
+
+	// epri is the task's *effective* priority level: pri, possibly
+	// raised by priority inheritance after a high-priority successor
+	// registered behind this task. It is monotone per incarnation
+	// (CAS-max raises only) and is what every scheduling decision reads
+	// — queue lane selection, the successor-bypass gate, the work-share
+	// yield checks.
+	epri atomic.Int32
+
+	// qstate encodes the task's scheduler-queue state: 0 when not
+	// queued, level+1 when an entry for it sits in lane `level`. A
+	// promotion re-push CASes it to the new level and inserts a
+	// duplicate entry; schedTook claims execution by Swap(0), so the
+	// losing (stale) entry pops as a no-op. See schedAdd/schedTook and
+	// promote in runtime.go.
+	qstate atomic.Int32
+
 	// alive counts full completions outstanding: 1 guard for the body
 	// plus one per live child. The decrement to zero completes the task.
 	alive atomic.Int64
@@ -84,6 +115,10 @@ func (t *Task) resetBody() {
 	t.req = nil
 	t.ownsScope = false
 	t.events = nil
+	t.inherit = false
+	t.deadline = 0
+	t.epri.Store(0)
+	t.qstate.Store(0)
 	t.alive.Store(0)
 }
 
@@ -126,8 +161,15 @@ type Ctx struct {
 // Worker returns the index of the worker executing the task.
 func (c *Ctx) Worker() int { return c.worker }
 
-// Priority returns the running task's scheduling priority level.
+// Priority returns the running task's scheduling priority level (the
+// declared level, not counting any priority-inheritance promotion).
 func (c *Ctx) Priority() int { return int(c.task.pri) }
+
+// Deadline returns the running task's absolute scheduling deadline in
+// nanoseconds on the runtime's monotonic clock (NowNS), or 0 when the
+// task carries none. Bodies can compare it against NowNS() to detect
+// that they are already late and shed work.
+func (c *Ctx) Deadline() int64 { return c.task.deadline }
 
 // Runtime returns the owning runtime.
 func (c *Ctx) Runtime() *Runtime { return c.rt }
@@ -258,6 +300,35 @@ const MaxPriority = sched.PriorityLevels - 1
 // façade wrapper is repro.WithPriority.
 func Priority(n int) deps.AccessSpec {
 	return deps.AccessSpec{Type: deps.PriorityClause, Len: n}
+}
+
+// Deadline declares the task's absolute scheduling deadline: absNS
+// nanoseconds on the runtime's monotonic clock (NowNS). Like Priority
+// it is a pseudo access — stripped before registration — and like
+// priorities it is inherited by children unless they carry their own
+// clause. Deadlines only order tasks *within* the top priority level,
+// and only when the runtime was built with Config.EDF: earlier
+// deadlines pop first, deadline-less tasks last. A deadline never
+// overtakes a data dependency. The public façade wrapper is
+// repro.WithDeadline, which resolves a relative duration against
+// NowNS.
+func Deadline(absNS int64) deps.AccessSpec {
+	return deps.AccessSpec{Type: deps.DeadlineClause, Len: int(absNS)}
+}
+
+// Inherit declares the task a priority-inheritance donor: at
+// registration, every recorded unsatisfied predecessor of the task is
+// promoted (transitively) to the task's effective priority level, so a
+// low-priority task holding a dependency a high-priority task waits on
+// is re-ranked instead of being starved behind mid-priority work (the
+// classic priority-inversion window). Like Priority it is a pseudo
+// access, stripped before registration, and the flag is inherited by
+// children unless overridden. Promotion is best-effort for tasks
+// mid-flight through shell recycling, and group predecessors
+// (reductions, commutative runs) are not promoted. The public façade
+// wrapper is repro.WithInheritance.
+func Inherit() deps.AccessSpec {
+	return deps.AccessSpec{Type: deps.InheritClause}
 }
 
 // WeakIn declares a weak read access on p: the task does not read p

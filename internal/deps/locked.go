@@ -207,6 +207,14 @@ func (s *Locked) linkInto(owner *Node, a *Access, post *ldefer, worker int) {
 			n.pending.Add(1)
 		}
 	}
+	if last := len(ch.entries) - 1; last >= ch.head && e.run == nil {
+		// Record the chain predecessor for the core's priority-
+		// inheritance walk (group entries are excluded, mirroring the
+		// wait-free system's plain-tail-only recording).
+		if p := ch.entries[last]; p.run == nil {
+			n.recordPred(p.node)
+		}
+	}
 	ch.entries = append(ch.entries, e)
 	s.rescan(ch, post, worker)
 	ch.mu.Unlock()

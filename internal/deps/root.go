@@ -121,7 +121,8 @@ type RootLease struct {
 func (d *RootDomain) Acquire(accs []AccessSpec) RootLease {
 	var mask uint64
 	for i := range accs {
-		if accs[i].Type == PriorityClause {
+		if accs[i].Type == PriorityClause || accs[i].Type == DeadlineClause ||
+			accs[i].Type == InheritClause {
 			// Pseudo accesses carry no address: they join no chain and
 			// lease no shard (a nil Addr would always hash to one shard
 			// and needlessly serialize every priority-tagged submission).

@@ -40,6 +40,18 @@ const (
 	// dependency system never sees one; Acquire skips them when leasing
 	// root shards.
 	PriorityClause
+	// DeadlineClause is a pseudo access type like PriorityClause: it
+	// carries an absolute scheduling deadline (nanoseconds on the
+	// runtime's monotonic clock, in the spec's Len field) through a
+	// task's access list. Stripped by the core before registration;
+	// skipped by Acquire.
+	DeadlineClause
+	// InheritClause is a pseudo access type like PriorityClause: its
+	// presence asks the core to promote the task's unsatisfied
+	// predecessors (transitively) to the task's effective priority at
+	// registration, closing the priority-inversion window. Stripped by
+	// the core before registration; skipped by Acquire.
+	InheritClause
 )
 
 // String returns the OmpSs-2 clause name of the access type.
@@ -57,6 +69,10 @@ func (t AccessType) String() string {
 		return "commutative"
 	case PriorityClause:
 		return "priority"
+	case DeadlineClause:
+		return "deadline"
+	case InheritClause:
+		return "inherit"
 	}
 	return "unknown"
 }
@@ -180,6 +196,61 @@ type Node struct {
 
 	// ldomain is the equivalent domain map of the locking baseline.
 	ldomain map[unsafe.Pointer]*lchain
+
+	// preds records the node's immediate plain-access chain
+	// predecessors at registration time, one slot per recorded
+	// predecessor, for the core's priority-inheritance walk (which runs
+	// right after registration, on the registering thread, but may
+	// chase predecessors-of-predecessors recorded by other threads).
+	// Slots are atomics plus a generation snapshot because a recorded
+	// predecessor's shell can be recycled and re-registered
+	// concurrently with a transitive walk: the walker revalidates the
+	// generation and skips recycled shells. Group predecessors
+	// (reduction/commutative runs) are not recorded — promotion is
+	// best-effort and those tasks are satisfied eagerly anyway.
+	preds  [InlineAccessCap]predSlot
+	npreds int // registration-thread-only write cursor; walkers scan slots
+
+	// gen counts shell reuses; bumped by Reset before the pred slots
+	// are cleared, so a walker holding a stale slot observes a
+	// generation mismatch instead of promoting an unrelated task.
+	gen atomic.Uint32
+}
+
+// predSlot is one recorded immediate predecessor: the node pointer and
+// the generation it had when recorded.
+type predSlot struct {
+	n   atomic.Pointer[Node]
+	gen atomic.Uint32
+}
+
+// recordPred appends p to n's predecessor slots (best-effort: silently
+// dropped once the fixed slots are full). Called by the registering
+// thread only.
+func (n *Node) recordPred(p *Node) {
+	if p == nil || p == n || n.npreds >= InlineAccessCap {
+		return
+	}
+	s := &n.preds[n.npreds]
+	s.gen.Store(p.gen.Load())
+	s.n.Store(p)
+	n.npreds++
+}
+
+// VisitPreds calls f for each recorded immediate predecessor whose
+// shell generation still matches its recorded snapshot. Best-effort:
+// a predecessor recycled between the generation check and f sees only
+// atomic operations from f's side (the core promotes via CAS-monotone
+// fields), so a lost or spurious promotion is a bounded scheduling
+// anomaly, never a memory-safety or exactly-once violation.
+func (n *Node) VisitPreds(f func(p *Node)) {
+	for i := range n.preds {
+		p := n.preds[i].n.Load()
+		if p == nil || p.gen.Load() != n.preds[i].gen.Load() {
+			continue
+		}
+		f(p)
+	}
 }
 
 // tailEntry is the wait-free system's bottom-map entry: the most recent
@@ -236,6 +307,13 @@ func (n *Node) Reset() {
 	n.Payload = nil
 	n.Accesses = nil
 	n.pending.Store(0)
+	// Invalidate outstanding pred-slot references to this shell before
+	// clearing our own slots: walkers compare against gen first.
+	n.gen.Add(1)
+	for i := 0; i < n.npreds; i++ {
+		n.preds[i].n.Store(nil)
+	}
+	n.npreds = 0
 	if len(n.domain) <= domainRetainCap {
 		clear(n.domain)
 	} else {

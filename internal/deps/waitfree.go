@@ -150,6 +150,9 @@ func (s *WaitFree) linkInto(owner *Node, a *Access, mb *mailbox) (replaced *Node
 	case ok:
 		s.linkAfterAccess(tail, a, mb)
 		replaced = tail.access.node
+		// Record the chain predecessor for the core's priority-
+		// inheritance walk; the tail pin makes the dereference safe.
+		n.recordPred(replaced)
 	default:
 		tail.parent = findOwnAccess(owner, a.addr)
 		s.linkFresh(tail.parent, a, mb)

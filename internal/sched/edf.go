@@ -1,0 +1,94 @@
+package sched
+
+import "math"
+
+// EDF is an earliest-deadline-first policy: a binary min-heap keyed by
+// the task's absolute deadline, with insertion order as the tie-break
+// so equal-deadline tasks (and the deadline-less, which sort last) pop
+// in FIFO order. It exists for the deadline-aware serving mode: the
+// runtime mounts it as the top lane of the Priority policy (via
+// NewPriorityLevels), so the interactive class pops by urgency while
+// the batch classes keep the configured FIFO/LIFO/Locality order.
+//
+// A zero deadline means "no deadline" and sorts after every real one
+// (an explicit math.MaxInt64 behaves the same way). Like every Policy
+// it is unsynchronized — the wrapping scheduler serializes all calls.
+type EDF[T any] struct {
+	h    []edfItem[T]
+	dlOf func(T) int64
+	seq  uint64
+}
+
+type edfItem[T any] struct {
+	t   T
+	dl  int64
+	seq uint64
+}
+
+// NewEDF builds an EDF policy whose per-task absolute deadline is read
+// by dlOf; a zero deadline sorts last (FIFO among the deadline-less).
+func NewEDF[T any](dlOf func(T) int64) *EDF[T] {
+	return &EDF[T]{dlOf: dlOf}
+}
+
+func (a edfItem[T]) before(b edfItem[T]) bool {
+	return a.dl < b.dl || (a.dl == b.dl && a.seq < b.seq)
+}
+
+// Push implements Policy.
+func (q *EDF[T]) Push(t T) {
+	dl := q.dlOf(t)
+	if dl == 0 {
+		dl = math.MaxInt64
+	}
+	q.h = append(q.h, edfItem[T]{t: t, dl: dl, seq: q.seq})
+	q.seq++
+	// Sift up.
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.h[i].before(q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+// Pop implements Policy: the earliest-deadline task, insertion order
+// breaking ties.
+func (q *EDF[T]) Pop(int) (T, bool) {
+	var zero T
+	n := len(q.h)
+	if n == 0 {
+		return zero, false
+	}
+	t := q.h[0].t
+	q.h[0] = q.h[n-1]
+	q.h[n-1] = edfItem[T]{}
+	q.h = q.h[:n-1]
+	// Sift down.
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.h[l].before(q.h[min]) {
+			min = l
+		}
+		if r < n && q.h[r].before(q.h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	return t, true
+}
+
+// Len implements Policy.
+func (q *EDF[T]) Len() int { return len(q.h) }
+
+var _ Policy[*int] = (*EDF[*int])(nil)

@@ -185,9 +185,17 @@ func (a prioLanes[T]) take(l int) (T, bool) { return a.p.levels[l].Pop(a.worker)
 // and whose per-task level is read by priOf (clamped). mk is invoked
 // once per level.
 func NewPriority[T any](mk func() Policy[T], priOf func(T) int) *Priority[T] {
+	return NewPriorityLevels(func(int) Policy[T] { return mk() }, priOf)
+}
+
+// NewPriorityLevels is NewPriority with a per-level constructor: mk
+// receives the level index, so different levels can run different
+// orderings (the deadline-aware mode mounts an EDF heap as the top
+// level while the batch levels keep the configured inner policy).
+func NewPriorityLevels[T any](mk func(level int) Policy[T], priOf func(T) int) *Priority[T] {
 	p := &Priority[T]{priOf: priOf}
 	for i := range p.levels {
-		p.levels[i] = mk()
+		p.levels[i] = mk(i)
 		p.local[i], _ = p.levels[i].(LocalityAware[T])
 	}
 	return p

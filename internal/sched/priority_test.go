@@ -178,7 +178,7 @@ func TestPrioritySyncSchedulerOrder(t *testing.T) {
 // documented weaker ordering — not asserted here, by construction it
 // is a non-guarantee).
 func TestWorkStealingPriorityPerDeque(t *testing.T) {
-	s := NewWorkStealing[*int](2, priOfInt)
+	s := NewWorkStealing[*int](2, priOfInt, nil)
 	vals := []int{1, 302, 103, 4}
 	for i := range vals {
 		s.Add(&vals[i], 0)
@@ -202,7 +202,7 @@ func TestWorkStealingPriorityPerDeque(t *testing.T) {
 // TestWorkStealingCourtesySlot: the per-deque starvation bound holds
 // for the work-stealing lanes too.
 func TestWorkStealingCourtesySlot(t *testing.T) {
-	s := NewWorkStealing[*int](1, priOfInt)
+	s := NewWorkStealing[*int](1, priOfInt, nil)
 	batch := 1
 	s.Add(&batch, 0)
 	hi := make([]int, 4*courtesyInterval)

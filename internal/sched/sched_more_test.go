@@ -53,7 +53,7 @@ func TestSchedulerNames(t *testing.T) {
 
 func TestWorkStealingCompaction(t *testing.T) {
 	// Stealing from the head many times exercises the compaction path.
-	s := NewWorkStealing[*int](1, nil)
+	s := NewWorkStealing[*int](1, nil, nil)
 	vals := make([]int, 2000)
 	for i := range vals {
 		s.Add(&vals[i], 0)

@@ -14,7 +14,7 @@ func allSchedulers(workers int) map[string]Scheduler[*int] {
 		"central":  NewCentral[*int](NewFIFO[*int](), workers),
 		"blocking": NewBlocking[*int](NewFIFO[*int]()),
 		"worksteal": NewWorkStealing[*int](
-			workers, nil),
+			workers, nil, nil),
 	}
 }
 
@@ -140,7 +140,7 @@ func TestBlockingStopUnblocks(t *testing.T) {
 }
 
 func TestWorkStealingStealsFromCreator(t *testing.T) {
-	s := NewWorkStealing[*int](2, nil)
+	s := NewWorkStealing[*int](2, nil, nil)
 	vals := []int{1, 2, 3, 4}
 	for i := range vals {
 		s.Add(&vals[i], 0) // all on worker 0's deque
@@ -157,7 +157,7 @@ func TestWorkStealingStealsFromCreator(t *testing.T) {
 }
 
 func TestWorkStealingOwnerLIFOThiefFIFO(t *testing.T) {
-	s := NewWorkStealing[*int](2, nil)
+	s := NewWorkStealing[*int](2, nil, nil)
 	vals := []int{10, 20, 30}
 	for i := range vals {
 		s.Add(&vals[i], 0)

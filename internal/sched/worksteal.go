@@ -27,6 +27,13 @@ import (
 // order onto a hierarchy of deques is exactly the "rework" the paper's
 // centralized design argues against; see DESIGN.md ("Priority
 // scheduling and QoS").
+//
+// Deadline awareness carries the same per-deque caveat: with a
+// deadline extractor each deque's top lane is its own EDF heap (owner
+// and thieves both pop its earliest deadline — there is no "tail end"
+// of a heap), but deadlines are never compared across deques, so a
+// thief may take a later-deadline task from one victim while an
+// earlier one waits in another. EDF order is per-deque, not global.
 type WorkStealing[T comparable] struct {
 	queues []wsDeque[T]
 	priOf  func(T) int
@@ -41,6 +48,10 @@ type wsLane[T comparable] struct {
 type wsDeque[T comparable] struct {
 	mu    sync.Mutex
 	lanes [PriorityLevels]wsLane[T]
+	// edf, when non-nil, replaces the top lane with a per-deque EDF
+	// heap (deadline-aware mode); lanes[PriorityLevels-1] then stays
+	// empty.
+	edf *EDF[T]
 	// scan is the shared bounded-levels pop discipline (see
 	// sched.scanState): per-deque elevated fast path, starvation
 	// counter and rotating courtesy cursor.
@@ -57,10 +68,18 @@ type dequeLanes[T comparable] struct {
 }
 
 func (a dequeLanes[T]) length(l int) int {
+	if l == PriorityLevels-1 && a.q.edf != nil {
+		return a.q.edf.Len()
+	}
 	return len(a.q.lanes[l].dq) - a.q.lanes[l].head
 }
 
 func (a dequeLanes[T]) take(l int) (T, bool) {
+	if l == PriorityLevels-1 && a.q.edf != nil {
+		// Both ends pop the heap root: a heap has no meaningful tail,
+		// so owner and thief alike take the earliest deadline.
+		return a.q.edf.Pop(0)
+	}
 	if a.fromTail {
 		return a.q.lanes[l].popTail()
 	}
@@ -116,16 +135,26 @@ func (q *wsDeque[T]) pop(fromTail bool) (T, bool) {
 // deques: one per worker thread plus the external-submitter deques
 // (the runtime passes workers + submitter slots - 1; every deque has
 // its own mutex, so any slot may Add concurrently). priOf reads a
-// task's priority level; nil treats every task as level 0.
-func NewWorkStealing[T comparable](workers int, priOf func(T) int) *WorkStealing[T] {
-	return &WorkStealing[T]{queues: make([]wsDeque[T], workers+1), priOf: priOf}
+// task's priority level; nil treats every task as level 0. dlOf, when
+// non-nil, reads a task's absolute deadline and turns each deque's top
+// lane into a per-deque EDF heap (see the type comment for the weaker
+// cross-deque guarantee).
+func NewWorkStealing[T comparable](workers int, priOf func(T) int, dlOf func(T) int64) *WorkStealing[T] {
+	s := &WorkStealing[T]{queues: make([]wsDeque[T], workers+1), priOf: priOf}
+	if dlOf != nil {
+		for i := range s.queues {
+			s.queues[i].edf = NewEDF(dlOf)
+		}
+	}
+	return s
 }
 
 // Name implements Scheduler.
 func (s *WorkStealing[T]) Name() string { return "work-stealing" }
 
 // Add pushes the task onto the producing worker's own deque, into the
-// lane of the task's priority level.
+// lane of the task's priority level (the per-deque EDF heap for the
+// top level in deadline-aware mode).
 func (s *WorkStealing[T]) Add(t T, worker int) {
 	pri := 0
 	if s.priOf != nil {
@@ -133,7 +162,11 @@ func (s *WorkStealing[T]) Add(t T, worker int) {
 	}
 	q := &s.queues[worker]
 	q.mu.Lock()
-	q.lanes[pri].dq = append(q.lanes[pri].dq, t)
+	if pri == PriorityLevels-1 && q.edf != nil {
+		q.edf.Push(t)
+	} else {
+		q.lanes[pri].dq = append(q.lanes[pri].dq, t)
+	}
 	if pri > 0 {
 		q.scan.elevated++
 	}

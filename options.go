@@ -66,6 +66,16 @@ func WithPolicy(k PolicyKind) Option {
 	return func(c *core.Config) { c.Policy = k }
 }
 
+// WithEDF makes the top priority level deadline-aware: among ready
+// tasks of the highest class, the one with the earliest absolute
+// deadline (WithDeadline) runs first; deadline-less tasks sort last
+// and keep FIFO order among themselves. Lower priority levels keep the
+// configured policy. With the work-stealing scheduler the ordering is
+// per-deque only — a thief never compares deadlines across victims.
+func WithEDF() Option {
+	return func(c *core.Config) { c.EDF = true }
+}
+
 // WithErrorPolicy selects how task errors propagate: FailFast (the
 // default) or CollectAll.
 func WithErrorPolicy(p ErrorPolicy) Option {

@@ -101,6 +101,25 @@
 // DESIGN.md ("Priority scheduling and QoS") for the per-scheduler
 // ordering guarantees.
 //
+// # Deadlines and priority inheritance
+//
+// Two clauses refine the priority dimension for serving workloads. On
+// a runtime built with WithEDF, WithDeadline(d) stamps the task (and
+// its children) with an absolute deadline, and the top priority level
+// pops earliest-deadline-first instead of FIFO — so under a backlog
+// the requests closest to missing their SLO run first.
+// WithInheritance closes the priority-inversion window: when an
+// elevated task registers behind unfinished lower-priority
+// predecessors, those predecessors are promoted (transitively) to its
+// level, re-ranked in the scheduler ahead of mid-priority work:
+//
+//	dl := repro.WithDeadline(2 * time.Millisecond)
+//	f := repro.Submit(rt, stage1, repro.InOut(&row), dl,
+//		repro.WithPriority(repro.MaxPriority), repro.WithInheritance())
+//
+// See DESIGN.md ("Deadline scheduling and priority inheritance") for
+// the ordering invariants and the promotion protocol.
+//
 // For named-DAG workloads, the Graph builder offers a declarative layer
 // on top of the same dependency engine:
 //
@@ -145,6 +164,8 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/deps"
 )
@@ -240,6 +261,50 @@ const MaxPriority = core.MaxPriority
 //	f := repro.Submit(rt, handle, repro.InOut(&row), repro.WithPriority(repro.MaxPriority))
 //	err := repro.ForEach(rt, 0, n, body, repro.WithAccesses(repro.WithPriority(1)))
 func WithPriority(n int) AccessSpec { return core.Priority(n) }
+
+// WithDeadline declares the task's scheduling deadline, d from now, as
+// a pseudo access riding in the access list like WithPriority. The
+// deadline is resolved to an absolute instant on the runtime's
+// monotonic clock (NowNS) at clause construction, so every task of one
+// request can share a single clause value. Deadlines order ready tasks
+// *within the top priority level* on runtimes built with WithEDF:
+// earlier deadlines run first, deadline-less tasks last. A deadline is
+// advisory — it never overtakes a data dependency and nothing is
+// cancelled when it passes (pair with DoTimeout/RunCtx for hard
+// cutoffs); bodies can compare Ctx.Deadline against NowNS to shed late
+// work. Children inherit the deadline unless they carry their own
+// clause; Graph nodes take theirs through Graph.SetDeadline.
+//
+//	f := repro.Submit(rt, handle, repro.InOut(&row),
+//		repro.WithPriority(repro.MaxPriority), repro.WithDeadline(2*time.Millisecond))
+func WithDeadline(d time.Duration) AccessSpec {
+	return core.Deadline(core.NowNS() + d.Nanoseconds())
+}
+
+// WithDeadlineAt is WithDeadline with an absolute deadline on the
+// runtime's monotonic clock (nanoseconds, as returned by NowNS): use
+// it to stamp one shared deadline on tasks created at different times,
+// for example the stages of a request pipeline.
+func WithDeadlineAt(absNS int64) AccessSpec { return core.Deadline(absNS) }
+
+// WithInheritance declares the task a priority-inheritance donor: when
+// it registers, any not-yet-satisfied predecessor task it depends on
+// is promoted — transitively — to this task's effective priority
+// level, so a low-priority task holding a dependency of
+// high-priority work is re-ranked ahead of mid-priority work instead
+// of starving behind it (the classic priority-inversion window).
+// Promotion re-ranks tasks already waiting in the scheduler; a
+// predecessor that is already executing keeps its worker. It pairs
+// with WithPriority:
+//
+//	f := repro.Submit(rt, handle, repro.In(&row),
+//		repro.WithPriority(repro.MaxPriority), repro.WithInheritance())
+func WithInheritance() AccessSpec { return core.Inherit() }
+
+// NowNS returns the current time on the runtime's monotonic deadline
+// clock (nanoseconds since process start): the clock WithDeadlineAt
+// and Ctx.Deadline values live on.
+func NowNS() int64 { return core.NowNS() }
 
 // Scheduler, dependency-system, allocator and policy selectors.
 const (

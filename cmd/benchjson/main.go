@@ -197,6 +197,7 @@ func main() {
 		regressions = append(regressions, graphServeCheck(snap)...)
 		regressions = append(regressions, idleBurnCheck(snap)...)
 		regressions = append(regressions, qosDeadlineCheck(snap)...)
+		regressions = append(regressions, localityCheck(snap)...)
 		for _, w := range warnings {
 			fmt.Println("warning: " + w)
 			if os.Getenv("GITHUB_ACTIONS") == "true" {
@@ -332,6 +333,39 @@ func qosDeadlineCheck(cur snapshot) []string {
 		out = append(out, fmt.Sprintf(
 			"ServerQoSDeadlineEDF: %.0f batch-ns vs blind %.0f (%.2fx) — deadline scheduling must cost <= 20%% batch throughput",
 			eb, bb, eb/bb))
+	}
+	return out
+}
+
+// localityCheck enforces the NUMA-domain sharding acceptance ratios on
+// the current run, independent of any baseline: at two domains the
+// runtime must keep at least 90% of executed tasks on their home
+// domain under the two-class priority mix (affinity-retention, read
+// from the runtime's per-domain Executed/ExecutedHome counters), and
+// sharding must not cost the interactive tail — the multi-domain run's
+// interactive p99 must stay within 1.25x of the single-domain run's
+// (the cross-domain elevated-work path is what keeps this true even on
+// oversubscribed hosts). Like the other same-run checks these are
+// same-host ratios and hold on every host shape. The p99 half stands
+// down when the single-domain anchor itself measured 0 (a degenerate
+// run with no interactive samples).
+func localityCheck(cur snapshot) []string {
+	multi, okM := cur.Benchmarks["LocalityPriorityMulti"]
+	single, okS := cur.Benchmarks["LocalityPrioritySingle"]
+	if !okM || !okS {
+		return nil
+	}
+	var out []string
+	if ret := multi.Extra["affinity-retention"]; ret < 0.90 {
+		out = append(out, fmt.Sprintf(
+			"LocalityPriorityMulti: %.3f affinity-retention — >= 90%% of tasks must execute on their home domain",
+			ret))
+	}
+	mp, sp := multi.Extra["p99-int-ns"], single.Extra["p99-int-ns"]
+	if sp > 0 && mp > 1.25*sp {
+		out = append(out, fmt.Sprintf(
+			"LocalityPriorityMulti: p99 %.0f ns vs single-domain %.0f ns (%.2fx) — domain sharding must cost <= 1.25x the interactive tail",
+			mp, sp, mp/sp))
 	}
 	return out
 }

@@ -124,3 +124,35 @@ func ExampleWithDeadline() {
 	// urgent
 	// relaxed
 }
+
+// ExampleWithTopology shapes the worker pool topology-first: two
+// runtime domains of two workers each, each domain with its own
+// scheduler and allocator free lists, exchanging work only through
+// the bounded shedding protocol. Stats reports the per-domain
+// breakdown alongside the pool-wide totals.
+func ExampleWithTopology() {
+	rt := repro.New(repro.WithTopology(repro.Topology{
+		Domains:          2,
+		WorkersPerDomain: 2,
+	}))
+	defer rt.Close()
+
+	if err := rt.Run(func(c *repro.Ctx) {
+		for i := 0; i < 64; i++ {
+			c.Spawn(func(*repro.Ctx) {})
+		}
+		c.Taskwait()
+	}); err != nil {
+		panic(err)
+	}
+
+	s := rt.Stats()
+	fmt.Println("workers:", s.Workers)
+	for d, ds := range s.Domains {
+		fmt.Printf("domain %d: %d workers\n", d, ds.Workers)
+	}
+	// Output:
+	// workers: 4
+	// domain 0: 2 workers
+	// domain 1: 2 workers
+}

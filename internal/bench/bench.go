@@ -451,6 +451,59 @@ func ServerQoSDeadline(edf bool) func(*testing.B) {
 	}
 }
 
+// LocalityPriority benchmark shape: the NUMA-domain affinity
+// acceptance scenario — four producers, each flooding two-task chains
+// over a private key slab with an interactive priority mix, at 8
+// workers sharded into 1 (Single) or 2 (Multi) domains. The headline
+// metric is affinity-retention: the fraction of executed tasks that
+// ran on their home domain, read from the runtime's per-domain
+// Executed/ExecutedHome counters (Runtime.Stats). The single-domain
+// run reports 1.0 by definition (nothing to cross) and anchors the
+// p99 comparison: cmd/benchjson's locality gate requires the
+// multi-domain run to keep retention >= 0.90 and its interactive p99
+// within 1.25x of the single-domain run's.
+const (
+	locWorkers   = 8
+	locProducers = 4
+	locKeysPer   = 4096
+)
+
+// LocalityPriority returns the affinity benchmark at the given domain
+// count.
+func LocalityPriority(domains int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := core.ConfigFor(core.VariantOptimized, locWorkers, benchNUMA)
+		cfg.Domains = domains
+		rt := core.New(cfg)
+		defer rt.Close()
+		w := workloads.NewLocalityMix(locProducers, locKeysPer, b.N)
+		before := rt.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := w.Run(rt); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := w.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		retention := 1.0
+		if rt.Domains() > 1 {
+			after := rt.Stats()
+			var exec, home uint64
+			for i := range after.Domains {
+				exec += after.Domains[i].Executed - before.Domains[i].Executed
+				home += after.Domains[i].ExecutedHome - before.Domains[i].ExecutedHome
+			}
+			if exec > 0 {
+				retention = float64(home) / float64(exec)
+			}
+		}
+		b.ReportMetric(retention, "affinity-retention")
+		b.ReportMetric(float64(w.Interactive.Quantile(0.99)), "p99-int-ns")
+	}
+}
+
 // Echo benchmark shape: 8 workers against clients×window = 1024
 // potential in-flight request graphs, so the events mode's concurrency
 // is bounded by the client windows while the blocking baseline is
@@ -737,6 +790,13 @@ var Tier2 = []struct {
 	{Name: "ServerQoSBlind", F: ServerQoS(false), DynamicAllocs: true, Scenario: true},
 	{Name: "ServerQoSDeadlineEDF", F: ServerQoSDeadline(true), DynamicAllocs: true, Scenario: true},
 	{Name: "ServerQoSDeadlineBlind", F: ServerQoSDeadline(false), DynamicAllocs: true, Scenario: true},
+	// The locality pair is deliberately NOT marked Scenario: it is a
+	// closed-loop saturated flood (per-op cost is throughput-stable),
+	// and its gated metrics are a same-run ratio — best-of folding is
+	// symmetric across the pair and suppresses the median's tail-class
+	// run-to-run spread that would make the 1.25x ratio a coin flip.
+	{Name: "LocalityPrioritySingle", F: LocalityPriority(1), DynamicAllocs: true},
+	{Name: "LocalityPriorityMulti", F: LocalityPriority(2), DynamicAllocs: true},
 	{Name: "EchoEvents", F: Echo(false), DynamicAllocs: true, Scenario: true},
 	{Name: "EchoBlocking", F: Echo(true), DynamicAllocs: true, Scenario: true},
 	{Name: "EchoOpenLoop", F: EchoOpenLoop, DynamicAllocs: true, Scenario: true},

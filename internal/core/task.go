@@ -78,6 +78,14 @@ type Task struct {
 	// scheduler-side reads need no atomics.
 	deadline int64
 
+	// home is the NUMA domain the task's ready callback homed it to
+	// (the readying slot's domain; see topology.go for the partition).
+	// Written by the ready callback before any routing, read by the
+	// executing worker for the affinity-retention accounting — both
+	// single-writer-then-single-reader within the task's scheduled
+	// window, so no atomics. Only meaningful on multi-domain runtimes.
+	home int8
+
 	// epri is the task's *effective* priority level: pri, possibly
 	// raised by priority inheritance after a high-priority successor
 	// registered behind this task. It is monotone per incarnation
@@ -87,11 +95,12 @@ type Task struct {
 	epri atomic.Int32
 
 	// qstate encodes the task's scheduler-queue state: 0 when not
-	// queued, level+1 when an entry for it sits in lane `level`. A
-	// promotion re-push CASes it to the new level and inserts a
-	// duplicate entry; schedTook claims execution by Swap(0), so the
-	// losing (stale) entry pops as a no-op. See schedAdd/schedTook and
-	// promote in runtime.go.
+	// queued, dom<<8|(level+1) when an entry for it sits in lane
+	// `level` of domain dom's scheduler. A promotion re-push CASes it
+	// to the new level (same domain) and inserts a duplicate entry;
+	// schedTook claims execution by Swap(0), so the losing (stale)
+	// entry pops as a no-op. See schedAdd/schedTook and promote in
+	// runtime.go.
 	qstate atomic.Int32
 
 	// alive counts full completions outstanding: 1 guard for the body

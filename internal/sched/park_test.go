@@ -22,7 +22,7 @@ func waitParked(t *testing.T, p *Parker, n int) {
 
 // TestParkerWakeOne: a parked worker is released by exactly one wake.
 func TestParkerWakeOne(t *testing.T) {
-	p := NewParker(2)
+	p := NewParker(2, 1, nil)
 	done := make(chan struct{})
 	go func() {
 		p.Park(0, func() bool { return false })
@@ -30,7 +30,7 @@ func TestParkerWakeOne(t *testing.T) {
 	}()
 	// Wait until the worker is visibly parked, then wake it.
 	waitParked(t, p, 1)
-	p.WakeOne()
+	p.WakeOne(0, 1)
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
@@ -47,7 +47,7 @@ func TestParkerWakeOne(t *testing.T) {
 // TestParkerRecheckCancels: a recheck that reports work cancels the
 // park without blocking and without counting a park.
 func TestParkerRecheckCancels(t *testing.T) {
-	p := NewParker(1)
+	p := NewParker(1, 1, nil)
 	done := make(chan struct{})
 	go func() {
 		p.Park(0, func() bool { return true })
@@ -66,7 +66,7 @@ func TestParkerRecheckCancels(t *testing.T) {
 // TestParkerWakeAll releases every parked worker at once.
 func TestParkerWakeAll(t *testing.T) {
 	const n = 8
-	p := NewParker(n)
+	p := NewParker(n, 1, nil)
 	var wg sync.WaitGroup
 	for id := 0; id < n; id++ {
 		wg.Add(1)
@@ -86,6 +86,78 @@ func TestParkerWakeAll(t *testing.T) {
 	}
 }
 
+// TestParkerDomainWake: a home-domain wake prefers the domain's own
+// parked worker; with the home domain empty the wake falls through to a
+// remote domain's parked worker.
+func TestParkerDomainWake(t *testing.T) {
+	// Workers 0,1 -> domain 0; workers 2,3 -> domain 1 (contiguous, as
+	// the runtime's slot→domain formula produces).
+	domOf := func(id int) int { return id / 2 }
+	p := NewParker(4, 2, domOf)
+	woke := make(chan int, 4)
+	park := func(id int) {
+		go func() {
+			p.Park(id, func() bool { return false })
+			woke <- id
+		}()
+	}
+	park(1)
+	park(2)
+	waitParked(t, p, 2)
+	if p.ParkedIn(0) != 1 || p.ParkedIn(1) != 1 {
+		t.Fatalf("ParkedIn = %d/%d, want 1/1", p.ParkedIn(0), p.ParkedIn(1))
+	}
+	// Domain 1's wake must claim its own worker 2, not domain 0's.
+	p.WakeOne(1, 1)
+	if id := <-woke; id != 2 {
+		t.Fatalf("home wake released worker %d, want 2", id)
+	}
+	// Domain 1 now has nobody parked: its next wake must fall through to
+	// domain 0's worker 1.
+	p.WakeOne(1, 1)
+	if id := <-woke; id != 1 {
+		t.Fatalf("cross-domain wake released worker %d, want 1", id)
+	}
+	if p.Parked() != 0 {
+		t.Fatalf("Parked() = %d, want 0", p.Parked())
+	}
+	if p.WakesIn(1) != 1 || p.WakesIn(0) != 1 {
+		t.Fatalf("WakesIn = %d/%d, want 1/1", p.WakesIn(0), p.WakesIn(1))
+	}
+}
+
+// TestParkerWakeThrottle: once the woken hint covers the pending count,
+// further WakeOne calls are no-ops; a larger pending count or a
+// throttle-disabled call (pending < 0) still wakes. The test marks
+// slots parked directly (white-box) so no goroutine consumes tokens
+// between assertions — every step is deterministic.
+func TestParkerWakeThrottle(t *testing.T) {
+	p := NewParker(3, 1, nil)
+	for i := range p.slots {
+		p.slots[i].state.Store(WorkerParked)
+		p.nparked.Add(1)
+		p.doms[0].nparked.Add(1)
+	}
+	p.WakeOne(0, 1) // claims one worker: woken 0 -> 1
+	if p.Woken(0) != 1 || p.Wakes() != 1 {
+		t.Fatalf("after first wake: woken=%d wakes=%d, want 1/1", p.Woken(0), p.Wakes())
+	}
+	p.WakeOne(0, 1) // woken(1) covers pending(1): throttled no-op
+	if p.Woken(0) != 1 || p.Wakes() != 1 || p.Parked() != 2 {
+		t.Fatalf("throttled wake acted: woken=%d wakes=%d parked=%d",
+			p.Woken(0), p.Wakes(), p.Parked())
+	}
+	p.WakeOne(0, -1) // throttle disabled: must claim another
+	if p.Wakes() != 2 {
+		t.Fatalf("pending<0 wake throttled: wakes=%d, want 2", p.Wakes())
+	}
+	p.WakeOne(0, 3) // pending(3) > woken(2): claims the last worker
+	if p.Wakes() != 3 || p.Parked() != 0 {
+		t.Fatalf("uncovered wake throttled: wakes=%d parked=%d", p.Wakes(), p.Parked())
+	}
+	p.WakeOne(0, 100) // nobody parked: fast-path no-op, must not panic
+}
+
 // TestParkerLostWakeupHammer drives the full check-then-park protocol
 // under contention: workers consume from a shared counter, parking when
 // it is empty; producers increment it and call WakeOne, exactly the
@@ -101,7 +173,7 @@ func TestParkerLostWakeupHammer(t *testing.T) {
 	if os.Getenv("REPRO_STRESS_ELASTIC") == "on" {
 		items *= 5
 	}
-	p := NewParker(workers)
+	p := NewParker(workers, 1, nil)
 	var queue, consumed atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -132,8 +204,8 @@ func TestParkerLostWakeupHammer(t *testing.T) {
 				n += items % producers
 			}
 			for i := 0; i < n; i++ {
-				queue.Add(1)
-				p.WakeOne()
+				pending := queue.Add(1)
+				p.WakeOne(0, pending)
 				if i%512 == 511 {
 					// A breather lets workers drain and park, so the next
 					// burst races the park edge rather than a warm loop.

@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+)
+
+// LocalityMix is the NUMA-domain affinity scenario: several producer
+// goroutines each drive a window of two-task compute→apply request
+// chains over a *private* key slab, with every eighth request tagged
+// interactive (core.MaxPriority, latency recorded per request) and the
+// rest batch. Because producers never share keys, the only things that
+// can move a chain off the domain its producer's submissions land in
+// are the runtime's own mechanisms — work shedding, cross-domain
+// wakes, help loops — so the benchmark's affinity-retention metric
+// (read from Runtime.Stats' per-domain Executed/ExecutedHome counters)
+// isolates how well the sharded runtime keeps work home under a
+// two-class priority mix, and the interactive histogram prices what
+// the sharding costs the latency tail.
+//
+// Like Server, deltas are small integers: the final key slabs are
+// exact and producer-order independent, so Verify is bit-for-bit.
+type LocalityMix struct {
+	producers, keysPer, requests int
+	spin                         int
+
+	keys    []float64 // producers * keysPer, slab per producer
+	staging []float64 // one cell per request
+
+	// Interactive records per-request latency (ns) of the interactive
+	// class, from issue to server-side apply completion, recorded by
+	// the executing worker (see QoSServer.Interactive for why
+	// server-side completion is the gated quantity).
+	Interactive *counter.Histogram
+}
+
+const (
+	// localityWindow is each producer's outstanding-chain window: deep
+	// enough to keep every domain's scheduler non-empty (an empty home
+	// queue is what licenses shedding), small enough that the live-task
+	// population stays steady.
+	localityWindow = 32
+	// localityInterEvery tags every n-th request per producer as
+	// interactive.
+	localityInterEvery = 8
+	// localitySpinIters sizes each task body's busy work (~20µs): large
+	// enough that execution placement — not submission overhead —
+	// dominates, small enough for interactive-scale requests.
+	localitySpinIters = 10000
+)
+
+// NewLocalityMix builds the scenario: `producers` clients, each owning
+// a keysPer-key slab, issuing `requests` chains in total.
+func NewLocalityMix(producers, keysPer, requests int) *LocalityMix {
+	if producers < 1 {
+		producers = 1
+	}
+	if keysPer < 1 {
+		keysPer = 1
+	}
+	if requests < producers {
+		requests = producers
+	}
+	s := &LocalityMix{
+		producers: producers,
+		keysPer:   keysPer,
+		requests:  requests,
+		spin:      localitySpinIters,
+		keys:      make([]float64, producers*keysPer),
+		staging:   make([]float64, requests),
+	}
+	s.Interactive = counter.NewHistogram(1)
+	s.Reset()
+	return s
+}
+
+// Name implements Workload.
+func (s *LocalityMix) Name() string { return "locality" }
+
+// Reset implements Workload.
+func (s *LocalityMix) Reset() {
+	for i := range s.keys {
+		s.keys[i] = float64(1 + i%9)
+	}
+	clear(s.staging)
+	s.Interactive.Reset()
+}
+
+// Deterministic per-request traffic. Request r belongs to producer
+// r%producers and targets a key inside that producer's slab only.
+func (s *LocalityMix) reqKey(r int) int {
+	g := r % s.producers
+	return g*s.keysPer + int(uint64(r)*2654435761%uint64(s.keysPer))
+}
+
+func (s *LocalityMix) reqDelta(r int) float64 { return float64(1 + (r*7+3)%11) }
+
+func (s *LocalityMix) interactive(r int) bool {
+	return (r/s.producers)%localityInterEvery == 0
+}
+
+// Run implements Workload: each producer floods its request share
+// through a bounded window of outstanding chains.
+func (s *LocalityMix) Run(rt *core.Runtime) error {
+	if w := rt.Slots(); s.Interactive.Recorders() != w {
+		s.Interactive = counter.NewHistogram(w)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, s.producers)
+	for g := 0; g < s.producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var win [localityWindow]qosInflight
+			n := 0
+			for r := g; r < s.requests; r += s.producers {
+				r := r
+				i := n % localityWindow
+				n++
+				win[i].await(&errs[g])
+				stage := &s.staging[r]
+				key := &s.keys[s.reqKey(r)]
+				delta := s.reqDelta(r)
+				spin := s.spin
+				inter := s.interactive(r)
+				t0 := time.Now()
+				compute := func(*core.Ctx) (any, error) {
+					*stage = delta + spinWork(delta, spin)
+					return nil, nil
+				}
+				apply := func(c *core.Ctx) (any, error) {
+					*key += *stage + spinWork(*stage, spin)
+					if inter {
+						s.Interactive.Record(c.Worker(), time.Since(t0).Nanoseconds())
+					}
+					return nil, nil
+				}
+				if inter {
+					win[i].compute = rt.Submit(compute, core.Out(stage), core.Priority(core.MaxPriority))
+					win[i].apply = rt.Submit(apply, core.In(stage), core.InOut(key), core.Priority(core.MaxPriority))
+				} else {
+					win[i].compute = rt.Submit(compute, core.Out(stage))
+					win[i].apply = rt.Submit(apply, core.In(stage), core.InOut(key))
+				}
+			}
+			for i := range win {
+				win[i].await(&errs[g])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSerial implements Workload.
+func (s *LocalityMix) RunSerial() {
+	for r := 0; r < s.requests; r++ {
+		s.staging[r] = s.reqDelta(r)
+		s.keys[s.reqKey(r)] += s.staging[r]
+	}
+}
+
+// Verify implements Workload: exact per-key totals — domain sharding
+// and priorities may reorder ready tasks but never change the result.
+func (s *LocalityMix) Verify() error {
+	want := make([]float64, len(s.keys))
+	for k := range want {
+		want[k] = float64(1 + k%9)
+	}
+	for r := 0; r < s.requests; r++ {
+		want[s.reqKey(r)] += s.reqDelta(r)
+		if s.staging[r] != s.reqDelta(r) {
+			return fmt.Errorf("locality: request %d staged %v, want %v", r, s.staging[r], s.reqDelta(r))
+		}
+	}
+	for k := range s.keys {
+		if s.keys[k] != want[k] {
+			return fmt.Errorf("locality: key %d = %v, want %v", k, s.keys[k], want[k])
+		}
+	}
+	return nil
+}
+
+// TotalWork implements Workload: two element updates per request.
+func (s *LocalityMix) TotalWork() float64 { return float64(2 * s.requests) }
+
+// Tasks implements Workload: two tasks per request.
+func (s *LocalityMix) Tasks() int { return 2 * s.requests }
+
+var _ Workload = (*LocalityMix)(nil)

@@ -199,18 +199,58 @@ type (
 	AllocKind = core.AllocKind
 	// PolicyKind selects the unsynchronized scheduling policy.
 	PolicyKind = core.PolicyKind
-	// Stats is an elastic-worker-pool snapshot (Runtime.Stats): parked
-	// and spinning worker counts plus cumulative park/wake counters.
+	// Stats is a runtime snapshot (Runtime.Stats): pool-wide parked and
+	// spinning worker counts plus cumulative park/wake counters, with a
+	// per-NUMA-domain breakdown in Domains.
 	Stats = core.Stats
+	// DomainStats is one NUMA domain's slice of a Stats snapshot:
+	// workers, park/wake counters, pending work and the work-shedding
+	// and affinity-retention counters.
+	DomainStats = core.DomainStats
 )
 
 // ErrTaskSkipped marks tasks drained without executing because their
 // submission scope was cancelled; see core.ErrTaskSkipped.
 var ErrTaskSkipped = core.ErrTaskSkipped
 
-// NewVariant builds a runtime from one of the paper's preset variants.
+// VariantOptions returns the functional options defining one of the
+// paper's preset variants — the scheduler/deps/allocator/policy
+// selection only, with pool shape left to the caller. It panics on an
+// unknown variant, like core.ConfigFor.
+func VariantOptions(v Variant) []Option {
+	switch v {
+	case VariantOptimized:
+		// Sync scheduler + wait-free deps + pooled allocator: all
+		// defaults.
+		return nil
+	case VariantNoJemalloc:
+		return []Option{WithAlloc(AllocSerial)}
+	case VariantNoWaitFreeDeps:
+		return []Option{WithDeps(DepsLocked)}
+	case VariantNoDTLock:
+		return []Option{WithScheduler(SchedCentralPTLock)}
+	case VariantGOMPLike:
+		return []Option{WithScheduler(SchedBlocking), WithDeps(DepsLocked), WithAlloc(AllocSerial)}
+	case VariantLLVMLike:
+		return []Option{WithScheduler(SchedWorkStealing), WithDeps(DepsLocked)}
+	case VariantIntelLike:
+		return []Option{WithScheduler(SchedWorkStealing), WithDeps(DepsLocked), WithPolicy(PolicyLIFO)}
+	default:
+		panic("repro: unknown variant " + string(v))
+	}
+}
+
+// NewVariant builds a runtime from one of the paper's preset variants:
+// VariantOptions for the design axes, WithTopology for the pool shape
+// (workers total, numaNodes SPSC insertion queues, pinned workers —
+// one domain, as in the paper's evaluation).
 func NewVariant(v Variant, workers, numaNodes int) *Runtime {
-	return core.New(core.ConfigFor(v, workers, numaNodes))
+	opts := append(VariantOptions(v), WithTopology(Topology{
+		WorkersPerDomain: workers,
+		NUMANodes:        numaNodes,
+		PinWorkers:       true,
+	}))
+	return New(opts...)
 }
 
 // Access declaration helpers (OmpSs-2 clause equivalents).
